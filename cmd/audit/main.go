@@ -1,0 +1,115 @@
+// Command audit analyses the composition risk of releasing protected
+// accounts of one graph to several consumer classes: it generates the
+// account for each viewer, unions what an attacker holding all of them
+// would see, and reports per-edge opacity degradation and the pairs
+// revealed only by composition.
+//
+// Usage:
+//
+//	audit -spec graph.json -viewers High-1,High-2 [-edges f->g,c->f]
+//
+// The spec file format is the same as cmd/protect's (core.SpecFile). With
+// no -edges the audit scores every edge of the original graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/account"
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/measure"
+	"repro/internal/privilege"
+)
+
+func parseEdges(s string) ([]graph.EdgeID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []graph.EdgeID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		ends := strings.Split(part, "->")
+		if len(ends) != 2 || ends[0] == "" || ends[1] == "" {
+			return nil, fmt.Errorf("bad edge %q (want from->to)", part)
+		}
+		out = append(out, graph.EdgeID{
+			From: graph.NodeID(strings.TrimSpace(ends[0])),
+			To:   graph.NodeID(strings.TrimSpace(ends[1])),
+		})
+	}
+	return out, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the JSON graph spec (required)")
+	viewersFlag := fs.String("viewers", "", "comma-separated consumer predicates whose accounts are released (required)")
+	edgesFlag := fs.String("edges", "", "comma-separated sensitive edges to score (from->to); default all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" || *viewersFlag == "" {
+		return fmt.Errorf("missing -spec or -viewers (run with -h for usage)")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := core.ParseSpecJSON(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *specPath, err)
+	}
+
+	var viewers []privilege.Predicate
+	for _, v := range strings.Split(*viewersFlag, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			viewers = append(viewers, privilege.Predicate(v))
+		}
+	}
+	if len(viewers) < 2 {
+		return fmt.Errorf("need at least two viewers to audit composition")
+	}
+	var accounts []*account.Account
+	for _, v := range viewers {
+		a, err := account.Generate(spec, v)
+		if err != nil {
+			return fmt.Errorf("account for %s: %w", v, err)
+		}
+		accounts = append(accounts, a)
+	}
+
+	edges, err := parseEdges(*edgesFlag)
+	if err != nil {
+		return err
+	}
+	if edges == nil {
+		for _, e := range spec.Graph.Edges() {
+			edges = append(edges, e.ID())
+		}
+	}
+	for _, e := range edges {
+		if _, ok := spec.Graph.EdgeByID(e); !ok {
+			return fmt.Errorf("edge %s not in the graph", e)
+		}
+	}
+
+	report, err := audit.Report(spec, viewers, accounts, edges, measure.Figure5())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, report)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		os.Exit(1)
+	}
+}

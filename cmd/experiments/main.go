@@ -1,0 +1,188 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig3|fig7|fig8|fig9|fig10] [-quick] [-csv dir]
+//
+// -quick shrinks the synthetic sweep (Figures 8 and 9) to a small grid for
+// fast smoke runs; -csv writes each table as a CSV file into the given
+// directory for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+func writeCSV(dir, name string, t *eval.Table) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(t.CSV()), 0o644)
+}
+
+func emit(w io.Writer, csvDir, name string, t *eval.Table) error {
+	fmt.Fprintln(w, t)
+	return writeCSV(csvDir, name, t)
+}
+
+func quickGrid() []workload.SyntheticConfig {
+	var cfgs []workload.SyntheticConfig
+	for fi, f := range []float64{0.10, 0.30, 0.50, 0.70, 0.90} {
+		for ci, target := range []float64{20, 45} {
+			cfgs = append(cfgs, workload.SyntheticConfig{
+				Nodes:           100,
+				TargetConnected: target,
+				ProtectFraction: f,
+				Seed:            int64(700 + fi*10 + ci),
+			})
+		}
+	}
+	return cfgs
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	which := fs.String("run", "all", "experiment: all, table1, fig3, fig7, fig8, fig9, fig10, ablations, robustness, scorecard")
+	quick := fs.Bool("quick", false, "use a reduced synthetic grid for figures 8 and 9")
+	csvDir := fs.String("csv", "", "directory to write CSV outputs into")
+	fig10Nodes := fs.Int("fig10-nodes", 200, "graph size for the figure 10 performance run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		t, err := eval.Table1Table()
+		if err != nil {
+			return err
+		}
+		if err := emit(stdout, *csvDir, "table1", t); err != nil {
+			return err
+		}
+	}
+	if want("fig3") {
+		ran = true
+		t, err := eval.Fig3Table()
+		if err != nil {
+			return err
+		}
+		if err := emit(stdout, *csvDir, "fig3", t); err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		ran = true
+		t, err := eval.Fig7Table()
+		if err != nil {
+			return err
+		}
+		if err := emit(stdout, *csvDir, "fig7", t); err != nil {
+			return err
+		}
+	}
+	if want("fig8") || want("fig9") {
+		ran = true
+		grid := workload.PaperGrid()
+		if *quick {
+			grid = quickGrid()
+		}
+		fmt.Fprintf(stdout, "synthetic sweep: %d graphs...\n", len(grid))
+		rows, err := eval.SyntheticSweep(grid)
+		if err != nil {
+			return err
+		}
+		if want("fig8") {
+			if err := emit(stdout, *csvDir, "fig8", eval.Fig8Table(rows)); err != nil {
+				return err
+			}
+		}
+		if want("fig9") {
+			opa, util := eval.Fig9Tables(rows)
+			if err := emit(stdout, *csvDir, "fig9a", opa); err != nil {
+				return err
+			}
+			if err := emit(stdout, *csvDir, "fig9b", util); err != nil {
+				return err
+			}
+		}
+	}
+	if want("ablations") {
+		ran = true
+		for name, build := range map[string]func() (*eval.Table, error){
+			"ablation_adversary":  eval.AblationAdversary,
+			"ablation_attacker":   eval.AblationAttackerClass,
+			"ablation_side":       eval.AblationSide,
+			"ablation_null":       eval.AblationNullTable,
+			"ablation_redundancy": eval.AblationRedundancy,
+		} {
+			t, err := build()
+			if err != nil {
+				return err
+			}
+			if err := emit(stdout, *csvDir, name, t); err != nil {
+				return err
+			}
+		}
+	}
+	if want("scorecard") {
+		ran = true
+		t, err := eval.ScorecardTable()
+		if err != nil {
+			return err
+		}
+		if err := emit(stdout, *csvDir, "scorecard", t); err != nil {
+			return err
+		}
+	}
+	if want("robustness") {
+		ran = true
+		t, err := eval.RobustnessTable(120)
+		if err != nil {
+			return err
+		}
+		if err := emit(stdout, *csvDir, "robustness", t); err != nil {
+			return err
+		}
+	}
+	if want("fig10") {
+		ran = true
+		dir, err := os.MkdirTemp("", "plus-fig10-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		res, err := eval.Figure10(dir, *fig10Nodes)
+		if err != nil {
+			return err
+		}
+		if err := emit(stdout, *csvDir, "fig10", eval.Fig10Table(res)); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown -run %q (want all, table1, fig3, fig7, fig8, fig9, fig10, ablations, robustness or scorecard)", *which)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", strings.TrimSpace(err.Error()))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestQuickGrid(t *testing.T) {
+	grid := quickGrid()
+	if len(grid) != 10 {
+		t.Fatalf("grid = %d configs", len(grid))
+	}
+	seeds := map[int64]bool{}
+	for _, cfg := range grid {
+		if cfg.Nodes != 100 {
+			t.Errorf("nodes = %d", cfg.Nodes)
+		}
+		if seeds[cfg.Seed] {
+			t.Errorf("duplicate seed %d", cfg.Seed)
+		}
+		seeds[cfg.Seed] = true
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	tbl := &eval.Table{Header: []string{"a", "b"}}
+	tbl.Add("x", 1.0)
+	if err := writeCSV(dir, "test", tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "test.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "a,b") || !strings.Contains(string(data), "x,1.000") {
+		t.Errorf("csv = %q", data)
+	}
+	// Empty dir is a no-op.
+	if err := writeCSV("", "test", tbl); err != nil {
+		t.Errorf("no-op write failed: %v", err)
+	}
+}
+
+func TestEmitPrintsAndWrites(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &eval.Table{Title: "T", Header: []string{"h"}}
+	tbl.Add("v")
+	var out bytes.Buffer
+	if err := emit(&out, dir, "emitted", tbl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "emitted.csv")); err != nil {
+		t.Errorf("csv missing: %v", err)
+	}
+	if !strings.Contains(out.String(), "T") {
+		t.Error("emit did not print the table")
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"table1", "fig3", "fig7"} {
+		var out bytes.Buffer
+		if err := run([]string{"-run", name, "-csv", dir}, &out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".csv")); err != nil {
+			t.Errorf("%s csv missing: %v", name, err)
+		}
+	}
+}
+
+func TestRunFig10Small(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig10", "-fig10-nodes", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "protect via surrogate") {
+		t.Errorf("fig10 output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "banana"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

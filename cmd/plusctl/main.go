@@ -1,0 +1,148 @@
+// Command plusctl is the CLI client for a plusd server.
+//
+// Usage:
+//
+//	plusctl [-server http://localhost:7337] <command> [args]
+//
+// Commands:
+//
+//	put-object -id ID -kind data|invocation -name NAME [-lowest P] [-protect surrogate|hide]
+//	put-edge -from ID -to ID [-label L] [-protect-at P] [-protect-mode surrogate|hide]
+//	put-surrogate -for ID -id ID -name NAME [-lowest P] [-score F]
+//	get ID
+//	lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]
+//	stats
+//	export-opm
+//	import-opm [-file doc.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/plus"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: plusctl [-server URL] <put-object|put-edge|put-surrogate|get|lineage|stats|export-opm|import-opm> [args]")
+	os.Exit(2)
+}
+
+func printJSON(v interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func run() error {
+	server := flag.String("server", "http://localhost:7337", "plusd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	return execute(plus.NewClient(*server), args[0], args[1:])
+}
+
+// execute dispatches one subcommand against the client; split from run so
+// tests can drive it without the process-global flag state.
+func execute(c *plus.Client, cmd string, rest []string) error {
+	switch cmd {
+	case "put-object":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		id := fs.String("id", "", "object id")
+		kind := fs.String("kind", "data", "data or invocation")
+		name := fs.String("name", "", "display name")
+		lowest := fs.String("lowest", "", "lowest privilege-predicate")
+		protect := fs.String("protect", "", "incidence protection: surrogate or hide")
+		_ = fs.Parse(rest)
+		return c.PutObject(plus.Object{
+			ID: *id, Kind: plus.ObjectKind(*kind), Name: *name, Lowest: *lowest, Protect: *protect,
+		})
+	case "put-edge":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		from := fs.String("from", "", "source object id")
+		to := fs.String("to", "", "destination object id")
+		label := fs.String("label", "", "edge label")
+		at := fs.String("protect-at", "", "predicate at or above which the edge is fully visible")
+		mode := fs.String("protect-mode", "surrogate", "surrogate or hide")
+		_ = fs.Parse(rest)
+		e := plus.Edge{From: *from, To: *to, Label: *label}
+		if *at != "" {
+			e.Lowest = *at
+			e.Marking = *mode
+		}
+		return c.PutEdge(e)
+	case "put-surrogate":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		forID := fs.String("for", "", "original object id")
+		id := fs.String("id", "", "surrogate id")
+		name := fs.String("name", "", "surrogate display name")
+		lowest := fs.String("lowest", "", "lowest privilege-predicate")
+		score := fs.Float64("score", 0.5, "infoScore in [0,1]")
+		_ = fs.Parse(rest)
+		return c.PutSurrogate(plus.SurrogateSpec{
+			ForID: *forID, ID: *id, Name: *name, Lowest: *lowest, InfoScore: *score,
+		})
+	case "get":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: plusctl get <id>")
+		}
+		o, err := c.GetObject(rest[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(o)
+	case "lineage":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		start := fs.String("start", "", "starting object id")
+		direction := fs.String("direction", "ancestors", "ancestors, descendants or both")
+		depth := fs.Int("depth", 0, "max hops (0 = unbounded)")
+		viewer := fs.String("viewer", "", "consumer privilege-predicate")
+		mode := fs.String("mode", "surrogate", "surrogate or hide")
+		label := fs.String("label", "", "restrict traversal to this edge label")
+		kind := fs.String("kind", "", "restrict traversal to data or invocation objects")
+		_ = fs.Parse(rest)
+		resp, err := c.Lineage(plus.LineageQuery{
+			Start: *start, Direction: *direction, Depth: *depth, Viewer: *viewer, Mode: *mode,
+			Label: *label, Kind: *kind,
+		})
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
+	case "stats":
+		s, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		return printJSON(s)
+	case "export-opm":
+		return c.ExportOPM(os.Stdout)
+	case "import-opm":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		file := fs.String("file", "", "OPM JSON document to import (default stdin)")
+		_ = fs.Parse(rest)
+		in := os.Stdin
+		if *file != "" {
+			f, err := os.Open(*file)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		return c.ImportOPM(in)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plusctl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+func testClient(t *testing.T) *plus.Client {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := plus.Open(dir+"/plus.log", plus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := httptest.NewServer(plus.NewServer(plus.NewEngine(store, privilege.TwoLevel())))
+	t.Cleanup(srv.Close)
+	return plus.NewClient(srv.URL)
+}
+
+func TestExecuteWorkflow(t *testing.T) {
+	c := testClient(t)
+	steps := [][]string{
+		{"put-object", "-id", "src", "-kind", "data", "-name", "raw"},
+		{"put-object", "-id", "proc", "-kind", "invocation", "-name", "step", "-lowest", "Protected", "-protect", "surrogate"},
+		{"put-object", "-id", "out", "-kind", "data", "-name", "result"},
+		{"put-edge", "-from", "src", "-to", "proc", "-label", "input-to"},
+		{"put-edge", "-from", "proc", "-to", "out", "-label", "generated"},
+		{"put-surrogate", "-for", "proc", "-id", "proc~", "-name", "a step", "-score", "0.4"},
+		{"get", "src"},
+		{"lineage", "-start", "out", "-direction", "ancestors", "-viewer", "Public", "-mode", "surrogate"},
+		{"lineage", "-start", "out", "-depth", "1"},
+		{"stats"},
+	}
+	for _, s := range steps {
+		if err := execute(c, s[0], s[1:]); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestExecuteEdgeProtection(t *testing.T) {
+	c := testClient(t)
+	for _, s := range [][]string{
+		{"put-object", "-id", "a", "-kind", "data", "-name", "a"},
+		{"put-object", "-id", "b", "-kind", "data", "-name", "b"},
+		{"put-edge", "-from", "a", "-to", "b", "-protect-at", "Protected", "-protect-mode", "hide"},
+	} {
+		if err := execute(c, s[0], s[1:]); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+	resp, err := c.Lineage(plus.LineageQuery{Start: "b", Direction: "ancestors"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Edges) != 0 {
+		t.Errorf("hidden edge leaked: %+v", resp.Edges)
+	}
+}
+
+func TestExecuteOPM(t *testing.T) {
+	c := testClient(t)
+	for _, s := range [][]string{
+		{"put-object", "-id", "a", "-kind", "data", "-name", "a"},
+		{"export-opm"},
+	} {
+		if err := execute(c, s[0], s[1:]); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+	// import-opm from a file.
+	doc := `{"artifacts":[{"id":"z","value":"zed"}],"processes":[],"used":[],"wasGeneratedBy":[]}`
+	path := t.TempDir() + "/doc.json"
+	if err := osWriteFile(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(c, "import-opm", []string{"-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(c, "get", []string{"z"}); err != nil {
+		t.Errorf("imported object missing: %v", err)
+	}
+	if err := execute(c, "import-opm", []string{"-file", path + ".missing"}); err == nil {
+		t.Error("missing import file accepted")
+	}
+}
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestExecuteErrors(t *testing.T) {
+	c := testClient(t)
+	if err := execute(c, "banana", nil); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := execute(c, "get", nil); err == nil {
+		t.Error("get without id accepted")
+	}
+	if err := execute(c, "get", []string{"missing"}); err == nil {
+		t.Error("get of missing object accepted")
+	}
+	if err := execute(c, "put-object", []string{"-id", "", "-kind", "data"}); err == nil {
+		t.Error("invalid object accepted")
+	}
+	if err := execute(c, "lineage", []string{"-start", "nope"}); err == nil {
+		t.Error("lineage of missing object accepted")
+	}
+}

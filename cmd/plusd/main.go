@@ -1,0 +1,75 @@
+// Command plusd serves a PLUS provenance store over HTTP with
+// privilege-aware lineage queries.
+//
+// Usage:
+//
+//	plusd -db /var/lib/plus.log -addr :7337 [-lattice lattice.json] [-sync]
+//
+// The lattice file is a JSON array of [dominator, dominated] predicate
+// pairs, e.g. [["High-1","Low-2"],["High-2","Low-2"]]; "Public" is the
+// implicit bottom. Without -lattice the server uses the two-level
+// Protected/Public lattice.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+func loadLattice(path string) (*privilege.Lattice, error) {
+	if path == "" {
+		return privilege.TwoLevel(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := privilege.ParseLatticeJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return lat, nil
+}
+
+func run() error {
+	addr := flag.String("addr", ":7337", "listen address")
+	db := flag.String("db", "plus.log", "path to the store log file")
+	latticePath := flag.String("lattice", "", "path to a JSON lattice spec (default: two-level)")
+	sync := flag.Bool("sync", false, "fsync every append")
+	cache := flag.Bool("cache", true, "memoise lineage answers until the store changes")
+	flag.Parse()
+
+	lat, err := loadLattice(*latticePath)
+	if err != nil {
+		return err
+	}
+	store, err := plus.Open(*db, plus.Options{Sync: *sync})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	engine := plus.NewEngine(store, lat)
+	var srv *plus.Server
+	if *cache {
+		srv = plus.NewCachedServer(plus.NewCachedEngine(engine))
+	} else {
+		srv = plus.NewServer(engine)
+	}
+	log.Printf("plusd: serving %s on %s (%d objects, %d edges, cache=%v)",
+		*db, *addr, store.NumObjects(), store.NumEdges(), *cache)
+	return http.ListenAndServe(*addr, srv)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plusd:", err)
+		os.Exit(1)
+	}
+}

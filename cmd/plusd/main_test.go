@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/privilege"
+)
+
+func TestLoadLatticeDefault(t *testing.T) {
+	lat, err := loadLattice("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lat.Dominates("Protected", privilege.Public) {
+		t.Error("default lattice should be two-level")
+	}
+}
+
+func TestLoadLatticeFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lattice.json")
+	if err := os.WriteFile(path, []byte(`[["High-1","Low-2"],["High-2","Low-2"]]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := loadLattice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lat.Dominates("High-1", "Low-2") || !lat.Incomparable("High-1", "High-2") {
+		t.Error("lattice file not honoured")
+	}
+}
+
+func TestLoadLatticeErrors(t *testing.T) {
+	if _, err := loadLattice(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"not":"pairs"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLattice(path); err == nil {
+		t.Error("bad lattice JSON accepted")
+	}
+}

@@ -1,0 +1,24 @@
+// Package repro reproduces "Surrogate Parenthood: Protected and
+// Informative Graphs" (Blaustein, Chapman, Seligman, Allen, Rosenthal —
+// PVLDB 4(8), 2011): protected accounts of sensitive graphs built with
+// surrogate nodes and edges, the path/node utility and opacity measures,
+// the maximally informative Surrogate Generation Algorithm, and the PLUS
+// provenance substrate the paper evaluated on.
+//
+// The implementation lives under internal/:
+//
+//	internal/graph      directed attributed graphs and traversals
+//	internal/privilege  privilege-predicate lattices, lowest(), high-water sets
+//	internal/policy     Visible/Hide/Surrogate incidence markings
+//	internal/surrogate  surrogate-node registry with infoScores
+//	internal/account    protected-account generation and verification
+//	internal/measure    path/node utility and opacity
+//	internal/plus       the PLUS provenance store, query engine and HTTP API
+//	internal/workload   evaluation motifs and synthetic graph generator
+//	internal/eval       regeneration of every table and figure
+//	internal/core       high-level facade (builder, Protect, Compare)
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate the workload behind each table and figure.
+package repro

@@ -1,0 +1,114 @@
+// Coalition: protected accounts for consumers holding several
+// incomparable privileges at once (a general high-water set, Definition
+// 6). A joint task force member is cleared by two agencies whose
+// privilege classes — "High-1" and "High-2" in the Figure 1b lattice —
+// do not dominate one another; the account generated for the set
+// {High-1, High-2} shows the union of what each clearance unlocks, while
+// a Hide marking imposed by either side still wins.
+//
+// Run with:
+//
+//	go run ./examples/coalition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+func main() {
+	lat := privilege.FigureOneLattice()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	reg := surrogate.NewRegistry(lb)
+
+	// Intelligence from two agencies feeding a joint assessment:
+	// agency 1's informant (High-1) and agency 2's intercept (High-2)
+	// both contribute, through analysis steps, to a shared report.
+	g := graph.New()
+	type node struct {
+		id     graph.NodeID
+		lowest privilege.Predicate
+	}
+	for _, n := range []node{
+		{"informant", "High-1"},
+		{"intercept", "High-2"},
+		{"analysis-1", "Low-2"},
+		{"analysis-2", "Low-2"},
+		{"joint-report", privilege.Public},
+	} {
+		g.AddNodeID(n.id)
+		if n.lowest != privilege.Public {
+			if err := lb.SetNode(n.id, n.lowest); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, e := range [][2]graph.NodeID{
+		{"informant", "analysis-1"},
+		{"intercept", "analysis-2"},
+		{"analysis-1", "joint-report"},
+		{"analysis-2", "joint-report"},
+	} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	// Each agency publishes a vaguer surrogate of its source.
+	for _, s := range []struct {
+		forID graph.NodeID
+		surr  surrogate.Surrogate
+	}{
+		{"informant", surrogate.Surrogate{ID: "informant~", Lowest: "Low-2", InfoScore: 0.4,
+			Features: graph.Features{"name": "a human source"}}},
+		{"intercept", surrogate.Surrogate{ID: "intercept~", Lowest: "Low-2", InfoScore: 0.4,
+			Features: graph.Features{"name": "a technical source"}}},
+	} {
+		if err := reg.Add(s.forID, s.surr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	spec := &account.Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: reg}
+
+	show := func(title string, hw []privilege.Predicate) *account.Account {
+		a, err := account.GenerateForSet(spec, hw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := account.VerifySound(spec, a); err != nil {
+			log.Fatal(err)
+		}
+		u := measure.Utilities(spec, a)
+		fmt.Printf("%s (HW=%v): %d nodes, path utility %.2f, node utility %.2f\n",
+			title, a.HighWater, a.Graph.NumNodes(), u.Path, u.Node)
+		for _, e := range a.Graph.Edges() {
+			fmt.Printf("    %s -> %s\n", e.From, e.To)
+		}
+		return a
+	}
+
+	show("agency 1 analyst", []privilege.Predicate{"High-1"})
+	show("agency 2 analyst", []privilege.Predicate{"High-2"})
+	joint := show("joint task force", []privilege.Predicate{"High-1", "High-2"})
+	if joint.Graph.HasNode("informant") && joint.Graph.HasNode("intercept") {
+		fmt.Println("  -> the joint member sees both originals; neither singleton view does")
+	}
+
+	// Local autonomy across the coalition: agency 2 forbids showing the
+	// intercept-to-analysis link to anyone, however cleared, who is not
+	// purely theirs — a Hide under one member vetoes the edge for the set.
+	e := graph.EdgeID{From: "intercept", To: "analysis-2"}
+	if err := pol.SetIncidence("intercept", e, "High-1", policy.Hide); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter agency 2 hides its link from High-1 holders:")
+	joint = show("joint task force", []privilege.Predicate{"High-1", "High-2"})
+	if !joint.Graph.HasEdge("intercept", "analysis-2") {
+		fmt.Println("  -> protection beats information: the edge is gone for the coalition view")
+	}
+}

@@ -1,0 +1,84 @@
+// Computer network: the §1 scenario in which a company shares its network
+// topology selectively — full detail with a newly acquired company
+// ("Acquired"), coarse detail with business partners ("Partner"). Links
+// through the internal security appliance must not be revealed to
+// partners, but reachability between the shared segments should survive.
+//
+// Run with:
+//
+//	go run ./examples/network
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+func main() {
+	// Public < Partner < Acquired: the acquired company sees everything
+	// partners see and more.
+	lat := privilege.NewLattice()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(lat.SetDominates("Partner", privilege.Public))
+	must(lat.SetDominates("Acquired", "Partner"))
+	must(lat.Freeze())
+
+	// dmz -> fw (sensitive firewall) -> core switch -> {app, db}; the
+	// acquired company's uplink enters at the core switch.
+	builder := core.NewBuilder(lat).
+		Node("dmz", "", graph.Features{"name": "DMZ load balancer"}).
+		Node("fw", "Acquired", graph.Features{"name": "internal firewall", "model": "vendor-x-9000"}).
+		Node("core-switch", "", graph.Features{"name": "core switch"}).
+		Node("app", "", graph.Features{"name": "app cluster"}).
+		Node("db", "Partner", graph.Features{"name": "database cluster"}).
+		Node("uplink", "", graph.Features{"name": "acquired-co uplink"}).
+		Edge("dmz", "fw", "link").
+		Edge("fw", "core-switch", "link").
+		Edge("core-switch", "app", "link").
+		Edge("core-switch", "db", "link").
+		Edge("uplink", "core-switch", "link").
+		// The firewall's role is hidden from partners, but traffic flow
+		// through it may be summarised.
+		ProtectRole("fw", core.Surrogate).
+		WithSurrogate("fw", surrogate.Surrogate{
+			ID:        "fw~",
+			Features:  graph.Features{"name": "a security appliance"},
+			Lowest:    "Partner",
+			InfoScore: 0.4,
+		})
+
+	spec, err := builder.Spec()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, viewer := range []privilege.Predicate{"Acquired", "Partner", privilege.Public} {
+		res, err := core.Protect(spec, viewer, core.Surrogate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("view for %s: %d nodes, %d edges (path utility %.2f, node utility %.2f)\n",
+			viewer, res.Account.Graph.NumNodes(), res.Account.Graph.NumEdges(),
+			res.Utility.Path, res.Utility.Node)
+		for _, e := range res.Account.Graph.Edges() {
+			marker := ""
+			if res.Account.SurrogateEdges[e.ID()] {
+				marker = "   [summarised]"
+			}
+			fmt.Printf("    %s -> %s%s\n", e.From, e.To, marker)
+		}
+	}
+
+	fmt.Println("\nthe Partner view names a generic \"security appliance\" and keeps the")
+	fmt.Println("dmz -> core-switch reachability; the Public view additionally drops the")
+	fmt.Println("database cluster, yet the remaining segments stay connected.")
+}

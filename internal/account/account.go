@@ -1,0 +1,528 @@
+// Package account implements protected accounts (Definition 5) and the
+// Surrogate Generation Algorithm (paper Appendix B, Algorithms 1–3): given
+// an original graph G, a privilege labeling, incidence markings and a
+// surrogate registry, it produces the maximally informative protected
+// account G' for a target high-water set (Definition 6) — most commonly a
+// singleton {p}, the case the paper's presentation uses.
+//
+// Two generators are provided: Generate/GenerateForSet, the paper's
+// contribution, and GenerateHide/GenerateHideForSet, the naïve
+// all-or-nothing baseline of Figure 1c that the evaluation compares
+// against.
+package account
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// Spec bundles everything needed to protect a graph: the original graph,
+// the lowest() labeling of its objects, the incidence-marking policy, and
+// the provider-supplied surrogates.
+type Spec struct {
+	Graph      *graph.Graph
+	Labeling   *privilege.Labeling
+	Policy     *policy.Policy
+	Surrogates *surrogate.Registry
+}
+
+// Validate reports structural problems in the spec.
+func (s *Spec) Validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("account: spec has nil graph")
+	}
+	if s.Labeling == nil {
+		return fmt.Errorf("account: spec has nil labeling")
+	}
+	if s.Policy == nil {
+		return fmt.Errorf("account: spec has nil policy")
+	}
+	if s.Surrogates == nil {
+		return fmt.Errorf("account: spec has nil surrogate registry")
+	}
+	if s.Labeling.Lattice() != s.Policy.Lattice() {
+		return fmt.Errorf("account: labeling and policy use different lattices")
+	}
+	return nil
+}
+
+// Account is a protected account G' of an original graph G, together with
+// the node correspondence of Definition 4/5 and the bookkeeping the
+// measures need.
+type Account struct {
+	// Graph is G'.
+	Graph *graph.Graph
+	// HighWater is the target high-water set the account was built for:
+	// every object in the account is visible via some member.
+	HighWater []privilege.Predicate
+	// Target is the single member for accounts generated with a singleton
+	// high-water set (the common case); empty otherwise.
+	Target privilege.Predicate
+	// ToOriginal maps each G' node to the unique G node it corresponds to.
+	ToOriginal map[graph.NodeID]graph.NodeID
+	// FromOriginal is the inverse map; G nodes with no corresponding node
+	// are absent.
+	FromOriginal map[graph.NodeID]graph.NodeID
+	// InfoScore holds infoScore(n') for every node of G' (1 when n' = n).
+	InfoScore map[graph.NodeID]float64
+	// SurrogateNodes records which G' nodes are surrogates (not originals).
+	SurrogateNodes map[graph.NodeID]surrogate.Surrogate
+	// SurrogateEdges records which G' edges are interposed surrogate edges
+	// summarising HW-permitted paths rather than copies of G edges.
+	SurrogateEdges map[graph.EdgeID]bool
+}
+
+// Present reports whether original node n has a corresponding node in the
+// account.
+func (a *Account) Present(n graph.NodeID) bool {
+	_, ok := a.FromOriginal[n]
+	return ok
+}
+
+// Corresponding returns the G' node corresponding to original n.
+func (a *Account) Corresponding(n graph.NodeID) (graph.NodeID, bool) {
+	id, ok := a.FromOriginal[n]
+	return id, ok
+}
+
+// SurrogateEdgeLabel is attached to interposed surrogate edges in G'.
+const SurrogateEdgeLabel = "surrogate"
+
+// hwView evaluates visibility and combined incidence markings under a
+// high-water set. For a singleton set this degenerates to the plain
+// per-predicate policy. For larger sets the combination follows
+// Definition 8: an incidence counts as Visible when some member's mark is
+// Visible ("marked Visible for some p dominated by a member of HW"),
+// counts as Hide when any member's mark is Hide (protecting beats
+// informing), and otherwise as Surrogate.
+type hwView struct {
+	spec *Spec
+	hw   []privilege.Predicate
+}
+
+// nodeVisible reports whether some member of the high-water set dominates
+// lowest(n) (Definition 9, maximal node visibility).
+func (v hwView) nodeVisible(n graph.NodeID) bool {
+	for _, p := range v.hw {
+		if v.spec.Labeling.NodeVisible(n, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// mark is the combined marking of one incidence across the set.
+func (v hwView) mark(n graph.NodeID, e graph.EdgeID) policy.Marking {
+	if len(v.hw) == 1 {
+		return v.spec.Policy.Mark(n, e, v.hw[0])
+	}
+	anyVisible, anySurrogate := false, false
+	for _, p := range v.hw {
+		switch v.spec.Policy.Mark(n, e, p) {
+		case policy.Hide:
+			return policy.Hide
+		case policy.Visible:
+			anyVisible = true
+		case policy.Surrogate:
+			anySurrogate = true
+		}
+	}
+	switch {
+	case anyVisible:
+		return policy.Visible
+	case anySurrogate:
+		return policy.Surrogate
+	default:
+		return policy.Visible
+	}
+}
+
+func normalizeHW(spec *Spec, hw []privilege.Predicate) ([]privilege.Predicate, error) {
+	if len(hw) == 0 {
+		return nil, fmt.Errorf("account: empty high-water set")
+	}
+	lat := spec.Labeling.Lattice()
+	for _, p := range hw {
+		if !lat.Known(p) && p != privilege.Public {
+			return nil, fmt.Errorf("account: unknown predicate %q in high-water set", p)
+		}
+	}
+	// Definition 6 requires an antichain; reduce dominated members away so
+	// callers may pass any set.
+	return lat.Maximal(hw), nil
+}
+
+// GenerateHide produces the naïve all-or-nothing protected account
+// (Figure 1c) for a singleton high-water set {p}: only nodes visible via p
+// are kept (as themselves), and an edge is kept only when both endpoints
+// are kept and both of its incidence markings are Visible. No surrogates
+// of any kind are used.
+func GenerateHide(spec *Spec, p privilege.Predicate) (*Account, error) {
+	return GenerateHideForSet(spec, []privilege.Predicate{p})
+}
+
+// GenerateHideForSet is GenerateHide for a general high-water set.
+func GenerateHideForSet(spec *Spec, hw []privilege.Predicate) (*Account, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hw, err := normalizeHW(spec, hw)
+	if err != nil {
+		return nil, err
+	}
+	a := newAccount(hw)
+	v := hwView{spec: spec, hw: hw}
+	for _, id := range spec.Graph.Nodes() {
+		if v.nodeVisible(id) {
+			n, _ := spec.Graph.NodeByID(id)
+			a.Graph.AddNode(n)
+			a.ToOriginal[id] = id
+			a.FromOriginal[id] = id
+			a.InfoScore[id] = 1
+		}
+	}
+	for _, e := range spec.Graph.Edges() {
+		if !a.Present(e.From) || !a.Present(e.To) {
+			continue
+		}
+		if v.mark(e.From, e.ID()) != policy.Visible || v.mark(e.To, e.ID()) != policy.Visible {
+			continue
+		}
+		if err := a.Graph.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Generate runs the Surrogate Generation Algorithm for the singleton
+// high-water set {p} and returns a maximally informative protected account
+// (Definition 9):
+//
+//   - maximal node visibility: originals visible via p appear as
+//     themselves;
+//   - dominant surrogacy: other nodes appear as their most dominant
+//     applicable surrogate (surrogate.Registry.Select), or are omitted;
+//   - maximal connectivity: every HW-permitted path between nodes present
+//     in G' is reflected by a path in G', interposing surrogate edges
+//     computed by contracting chains of Surrogate-marked incidences
+//     (Algorithms 2 and 3).
+func Generate(spec *Spec, p privilege.Predicate) (*Account, error) {
+	return GenerateForSet(spec, []privilege.Predicate{p})
+}
+
+// GenerateForSet runs the Surrogate Generation Algorithm for a general
+// high-water set (Appendix B: "when there are multiple
+// privilege-predicates, the same process is used for each predicate until
+// an appropriate surrogate is found"). The set is reduced to its maximal
+// antichain first; an object is visible when some member dominates its
+// lowest predicate, and incidence markings combine per Definition 8 (see
+// hwView).
+func GenerateForSet(spec *Spec, hw []privilege.Predicate) (*Account, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hw, err := normalizeHW(spec, hw)
+	if err != nil {
+		return nil, err
+	}
+	a := newAccount(hw)
+	v := hwView{spec: spec, hw: hw}
+
+	// Algorithm 1 lines 4–10: node selection.
+	for _, id := range spec.Graph.Nodes() {
+		if v.nodeVisible(id) {
+			n, _ := spec.Graph.NodeByID(id)
+			a.Graph.AddNode(n)
+			a.ToOriginal[id] = id
+			a.FromOriginal[id] = id
+			a.InfoScore[id] = 1
+			continue
+		}
+		s, ok := spec.Surrogates.SelectForSet(id, hw)
+		if !ok {
+			continue // omitted: no releasable version exists
+		}
+		a.Graph.AddNode(graph.Node{ID: s.ID, Features: s.Features})
+		a.ToOriginal[s.ID] = id
+		a.FromOriginal[id] = s.ID
+		a.InfoScore[s.ID] = s.InfoScore
+		a.SurrogateNodes[s.ID] = s
+	}
+
+	w := &walker{view: v, acct: a}
+
+	// Algorithm 3: classify edges by effective disposition.
+	var contract []graph.Edge
+	for _, e := range spec.Graph.Edges() {
+		switch w.disposition(e.ID()) {
+		case policy.ShowEdge:
+			// Both incidences effectively Visible, hence both endpoints
+			// present: copy the edge onto the corresponding nodes.
+			ge := graph.Edge{From: a.FromOriginal[e.From], To: a.FromOriginal[e.To], Label: e.Label}
+			if err := a.Graph.AddEdge(ge); err != nil {
+				return nil, err
+			}
+		case policy.ContractEdge:
+			contract = append(contract, e)
+		}
+	}
+
+	// Algorithm 1 lines 12–29: interpose surrogate edges for contracted
+	// incidences. For each contracted edge, anchor sets are the nearest
+	// Visible-incidence nodes upstream and downstream (Algorithm 2's
+	// stop-at-first-visible walk, which realises the "no shorter
+	// HW-permitted path" minimality rule).
+	type pair struct{ from, to graph.NodeID }
+	added := map[pair]bool{}
+	vetoed := false
+	for _, e := range contract {
+		var back []graph.NodeID
+		if w.effectiveMark(e.From, e.ID()) == policy.Visible {
+			back = []graph.NodeID{e.From}
+		} else {
+			back = w.anchors(e.From, graph.Backward)
+		}
+		var fwd []graph.NodeID
+		if w.effectiveMark(e.To, e.ID()) == policy.Visible {
+			fwd = []graph.NodeID{e.To}
+		} else {
+			fwd = w.anchors(e.To, graph.Forward)
+		}
+		for _, u := range back {
+			for _, vv := range fwd {
+				if u == vv || added[pair{u, vv}] {
+					continue
+				}
+				added[pair{u, vv}] = true
+				if de, ok := spec.Graph.EdgeByID(graph.EdgeID{From: u, To: vv}); ok {
+					// Definition 8 condition 2: a pair with a direct edge
+					// may only be connected when that edge's incidences
+					// are both Visible — and then the edge is already in
+					// G', so a surrogate edge is never interposed. A
+					// non-Show direct edge vetoes the pair and may leave
+					// longer permitted pairs unserved; the completion
+					// pass below repairs exactly those.
+					if w.disposition(de.ID()) != policy.ShowEdge {
+						vetoed = true
+					}
+					continue
+				}
+				gu, gv := a.FromOriginal[u], a.FromOriginal[vv]
+				if a.Graph.HasEdge(gu, gv) {
+					continue
+				}
+				ge := graph.Edge{From: gu, To: gv, Label: SurrogateEdgeLabel}
+				if err := a.Graph.AddEdge(ge); err != nil {
+					return nil, err
+				}
+				a.SurrogateEdges[ge.ID()] = true
+			}
+		}
+	}
+
+	// Completion pass: the anchor walk connects nearest Visible anchors,
+	// but Definition 8 condition 2 can veto an anchor pair (a restricted
+	// direct edge between the anchors) while a longer pair further out
+	// remains HW-permitted and unserved. Sweep every present node's
+	// permitted-reachability set and interpose a surrogate edge for any
+	// pair maximal connectivity (Definition 9) still misses. Without a
+	// veto the anchor pass alone is maximal (every anchor pair got its
+	// edge, and permitted paths compose through anchors), so the sweep is
+	// skipped — the common fast path.
+	if !vetoed {
+		return a, nil
+	}
+	origs := make([]graph.NodeID, 0, len(a.FromOriginal))
+	for orig := range a.FromOriginal {
+		origs = append(origs, orig)
+	}
+	sort.Slice(origs, func(i, j int) bool { return origs[i] < origs[j] })
+	for _, u := range origs {
+		permitted := w.permittedFrom(u)
+		gu := a.FromOriginal[u]
+		var missing []graph.NodeID
+		reach := a.Graph.Reachable(gu, graph.Forward)
+		for vv := range permitted {
+			if vv == u || reach[a.FromOriginal[vv]] {
+				continue
+			}
+			if de, ok := spec.Graph.EdgeByID(graph.EdgeID{From: u, To: vv}); ok && w.disposition(de.ID()) != policy.ShowEdge {
+				continue // condition 2 veto
+			}
+			missing = append(missing, vv)
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		for _, vv := range missing {
+			gv := a.FromOriginal[vv]
+			if a.Graph.HasPath(gu, gv) {
+				continue // an earlier addition already connected the pair
+			}
+			ge := graph.Edge{From: gu, To: gv, Label: SurrogateEdgeLabel}
+			if err := a.Graph.AddEdge(ge); err != nil {
+				return nil, err
+			}
+			a.SurrogateEdges[ge.ID()] = true
+		}
+	}
+	return a, nil
+}
+
+func newAccount(hw []privilege.Predicate) *Account {
+	a := &Account{
+		Graph:          graph.New(),
+		HighWater:      hw,
+		ToOriginal:     map[graph.NodeID]graph.NodeID{},
+		FromOriginal:   map[graph.NodeID]graph.NodeID{},
+		InfoScore:      map[graph.NodeID]float64{},
+		SurrogateNodes: map[graph.NodeID]surrogate.Surrogate{},
+		SurrogateEdges: map[graph.EdgeID]bool{},
+	}
+	if len(hw) == 1 {
+		a.Target = hw[0]
+	}
+	return a
+}
+
+// walker evaluates effective markings and runs the Algorithm 2 anchor
+// searches over one (view, account) pair.
+type walker struct {
+	view hwView
+	acct *Account
+
+	backMemo map[graph.NodeID][]graph.NodeID
+	fwdMemo  map[graph.NodeID][]graph.NodeID
+}
+
+func (w *walker) spec() *Spec { return w.view.spec }
+
+// effectiveMark is the combined view marking with one safety adjustment: a
+// Visible incidence of a node with no corresponding node in G' is
+// downgraded to Surrogate. A node whose existence is not releasable cannot
+// have edges shown, but the paths through it may still be summarised —
+// this keeps inconsistent provider policies from silently destroying
+// connectivity (see DESIGN.md).
+func (w *walker) effectiveMark(n graph.NodeID, e graph.EdgeID) policy.Marking {
+	m := w.view.mark(n, e)
+	if m == policy.Visible && !w.acct.Present(n) {
+		return policy.Surrogate
+	}
+	return m
+}
+
+// disposition combines effective marks (Algorithm 3).
+func (w *walker) disposition(e graph.EdgeID) policy.Disposition {
+	src := w.effectiveMark(e.From, e)
+	dst := w.effectiveMark(e.To, e)
+	switch {
+	case src == policy.Hide || dst == policy.Hide:
+		return policy.DropEdge
+	case src == policy.Visible && dst == policy.Visible:
+		return policy.ShowEdge
+	default:
+		return policy.ContractEdge
+	}
+}
+
+// permittedFrom returns the set of nodes w (present in G', w != u) for
+// which an HW-permitted path u -> ... -> w exists per Definition 8
+// condition 1: no Hide incidence anywhere, the first incidence at u and the
+// last incidence at w effectively Visible. Condition 2 (the direct-edge
+// restriction) is per pair and applied by callers.
+func (w *walker) permittedFrom(u graph.NodeID) map[graph.NodeID]bool {
+	out := map[graph.NodeID]bool{}
+	seen := map[graph.NodeID]bool{u: true}
+	queue := []graph.NodeID{u}
+	first := true
+	for len(queue) > 0 {
+		var next []graph.NodeID
+		for _, cur := range queue {
+			for _, succ := range w.spec().Graph.Successors(cur) {
+				e := graph.EdgeID{From: cur, To: succ}
+				if w.view.mark(e.From, e) == policy.Hide || w.view.mark(e.To, e) == policy.Hide {
+					continue
+				}
+				// Leaving the start requires a Visible first incidence;
+				// re-entering u later makes it an interior node, where any
+				// non-Hide marking may be crossed.
+				if first && w.effectiveMark(u, e) != policy.Visible {
+					continue
+				}
+				if succ != u && w.effectiveMark(succ, e) == policy.Visible {
+					out[succ] = true
+				}
+				if !seen[succ] {
+					seen[succ] = true
+					next = append(next, succ)
+				}
+			}
+		}
+		queue = next
+		first = false
+	}
+	return out
+}
+
+// anchors walks from start in the given direction across non-Hide edges,
+// collecting the nearest nodes whose incidence on the edge reaching them is
+// effectively Visible (Algorithm 2: BuildVisibleSet). The walk stops at
+// each anchor; non-anchor nodes are walked through. Results are sorted for
+// determinism and memoised per (node, direction).
+func (w *walker) anchors(start graph.NodeID, dir graph.Direction) []graph.NodeID {
+	memo := &w.backMemo
+	if dir == graph.Forward {
+		memo = &w.fwdMemo
+	}
+	if *memo == nil {
+		*memo = map[graph.NodeID][]graph.NodeID{}
+	}
+	if got, ok := (*memo)[start]; ok {
+		return got
+	}
+
+	seen := map[graph.NodeID]bool{start: true}
+	found := map[graph.NodeID]bool{}
+	queue := []graph.NodeID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var steps []graph.NodeID
+		if dir == graph.Forward {
+			steps = w.spec().Graph.Successors(cur)
+		} else {
+			steps = w.spec().Graph.Predecessors(cur)
+		}
+		for _, next := range steps {
+			var e graph.EdgeID
+			if dir == graph.Forward {
+				e = graph.EdgeID{From: cur, To: next}
+			} else {
+				e = graph.EdgeID{From: next, To: cur}
+			}
+			// The walk may not cross Hide incidences at either end.
+			if w.view.mark(e.From, e) == policy.Hide || w.view.mark(e.To, e) == policy.Hide {
+				continue
+			}
+			if w.effectiveMark(next, e) == policy.Visible {
+				found[next] = true // anchor: stop here
+				continue
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(found))
+	for id := range found {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	(*memo)[start] = out
+	return out
+}

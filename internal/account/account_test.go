@@ -1,0 +1,484 @@
+package account
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// cfgSpec builds the c -> f -> g fragment of Figure 1a/2: c and g are
+// public, f requires High-1 (invisible to the High-2 consumer the accounts
+// are generated for).
+func cfgSpec(t *testing.T) *Spec {
+	t.Helper()
+	g := graph.New()
+	for _, id := range []graph.NodeID{"c", "f", "g"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("c", "f")
+	g.MustAddEdge("f", "g")
+	lat := privilege.FigureOneLattice()
+	lb := privilege.NewLabeling(lat)
+	if err := lb.SetNode("f", "High-1"); err != nil {
+		t.Fatal(err)
+	}
+	return &Spec{
+		Graph:      g,
+		Labeling:   lb,
+		Policy:     policy.New(lat),
+		Surrogates: surrogate.NewRegistry(lb),
+	}
+}
+
+func addFSurrogate(t *testing.T, spec *Spec) {
+	t.Helper()
+	err := spec.Surrogates.Add("f", surrogate.Surrogate{
+		ID:        "f'",
+		Features:  graph.Features{"desc": "a trusted law enforcement source"},
+		Lowest:    "Low-2",
+		InfoScore: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustGenerate(t *testing.T, spec *Spec, p privilege.Predicate) *Account {
+	t.Helper()
+	a, err := Generate(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySound(spec, a); err != nil {
+		t.Fatalf("unsound account: %v", err)
+	}
+	return a
+}
+
+func mustHide(t *testing.T, spec *Spec, p privilege.Predicate) *Account {
+	t.Helper()
+	a, err := GenerateHide(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySound(spec, a); err != nil {
+		t.Fatalf("unsound hide account: %v", err)
+	}
+	return a
+}
+
+// Figure 2a: surrogate node f' with visible edges -> c->f'->g.
+func TestFigure2aSurrogateNodeVisibleEdges(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec)
+	a := mustGenerate(t, spec, "High-2")
+
+	if !a.Graph.HasNode("f'") {
+		t.Fatal("surrogate node f' missing")
+	}
+	if a.Graph.HasNode("f") {
+		t.Fatal("original sensitive node f leaked")
+	}
+	if !a.Graph.HasEdge("c", "f'") || !a.Graph.HasEdge("f'", "g") {
+		t.Errorf("edges missing: %v", a.Graph.Edges())
+	}
+	if a.Graph.HasEdge("c", "g") {
+		t.Error("unexpected surrogate edge c->g on an all-visible path")
+	}
+	if a.InfoScore["f'"] != 0.5 {
+		t.Errorf("infoScore(f') = %v", a.InfoScore["f'"])
+	}
+	if len(a.SurrogateEdges) != 0 {
+		t.Errorf("surrogate edges = %v, want none", a.SurrogateEdges)
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+}
+
+// Figure 2b: no surrogate node; f's incidences marked Surrogate -> node f
+// hidden, surrogate edge c->g interposed.
+func TestFigure2bHiddenNodeSurrogateEdge(t *testing.T) {
+	spec := cfgSpec(t)
+	if err := spec.Policy.SetNode("f", "High-2", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	a := mustGenerate(t, spec, "High-2")
+
+	if a.Graph.NumNodes() != 2 {
+		t.Fatalf("nodes = %v, want c and g", a.Graph.Nodes())
+	}
+	if !a.Graph.HasEdge("c", "g") {
+		t.Fatal("surrogate edge c->g missing")
+	}
+	if !a.SurrogateEdges[graph.EdgeID{From: "c", To: "g"}] {
+		t.Error("c->g not recorded as a surrogate edge")
+	}
+	e, _ := a.Graph.EdgeByID(graph.EdgeID{From: "c", To: "g"})
+	if e.Label != SurrogateEdgeLabel {
+		t.Errorf("surrogate edge label = %q", e.Label)
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+}
+
+// Figure 2c: surrogate node f' but hidden edges -> f' isolated.
+func TestFigure2cSurrogateNodeHiddenEdges(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec)
+	if err := spec.Policy.SetNode("f", "High-2", policy.Hide); err != nil {
+		t.Fatal(err)
+	}
+	a := mustGenerate(t, spec, "High-2")
+
+	if !a.Graph.HasNode("f'") {
+		t.Fatal("surrogate node f' missing")
+	}
+	if a.Graph.NumEdges() != 0 {
+		t.Errorf("edges = %v, want none", a.Graph.Edges())
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+}
+
+// Figure 2d: surrogate node f' and Surrogate-marked edges -> f' isolated
+// plus surrogate edge c->g.
+func TestFigure2dSurrogateNodeAndEdge(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec)
+	if err := spec.Policy.SetNode("f", "High-2", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	a := mustGenerate(t, spec, "High-2")
+
+	if !a.Graph.HasNode("f'") {
+		t.Fatal("surrogate node f' missing")
+	}
+	if !a.Graph.HasEdge("c", "g") {
+		t.Fatal("surrogate edge c->g missing")
+	}
+	if a.Graph.HasEdge("c", "f'") || a.Graph.HasEdge("f'", "g") {
+		t.Error("Surrogate-marked incidences leaked as shown edges")
+	}
+	if a.Graph.Degree("f'") != 0 {
+		t.Error("f' should be isolated")
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+}
+
+// Figure 1c: the naive hide baseline keeps only visible nodes and fully
+// visible edges.
+func TestGenerateHideBaseline(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec) // must be ignored by the baseline
+	a := mustHide(t, spec, "High-2")
+	if a.Graph.NumNodes() != 2 || a.Graph.NumEdges() != 0 {
+		t.Errorf("hide account = %v nodes %v edges", a.Graph.Nodes(), a.Graph.Edges())
+	}
+	if a.Graph.HasNode("f'") {
+		t.Error("hide baseline used a surrogate")
+	}
+	for id, sc := range a.InfoScore {
+		if sc != 1 {
+			t.Errorf("hide infoScore[%s] = %v, want 1", id, sc)
+		}
+	}
+}
+
+// A consumer whose predicate dominates everything sees G unchanged.
+func TestFullPrivilegeIdentity(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec)
+	a := mustGenerate(t, spec, "High-1")
+	// High-1 dominates lowest(f)=High-1 and Public: everything visible.
+	if !a.Graph.Equal(spec.Graph) {
+		t.Errorf("full-privilege account differs from G:\n%v\nvs\n%v", a.Graph.Edges(), spec.Graph.Edges())
+	}
+}
+
+// Multi-hop contraction: a->x->y->b with x,y hidden and Surrogate-marked
+// collapses to a single surrogate edge a->b.
+func TestMultiHopContraction(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "x", "y", "b"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "x")
+	g.MustAddEdge("x", "y")
+	g.MustAddEdge("y", "b")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	for _, id := range []graph.NodeID{"x", "y"} {
+		if err := lb.SetNode(id, "Protected"); err != nil {
+			t.Fatal(err)
+		}
+		if err := pol.SetNodeThreshold(id, "Protected", policy.Surrogate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := &Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: surrogate.NewRegistry(lb)}
+	a := mustGenerate(t, spec, privilege.Public)
+
+	if a.Graph.NumNodes() != 2 {
+		t.Fatalf("nodes = %v", a.Graph.Nodes())
+	}
+	if !a.Graph.HasEdge("a", "b") || a.Graph.NumEdges() != 1 {
+		t.Errorf("edges = %v, want exactly a->b", a.Graph.Edges())
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+}
+
+// Hide anywhere on the chain blocks contraction entirely.
+func TestHideBlocksContraction(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "x", "b"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "x")
+	g.MustAddEdge("x", "b")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	if err := lb.SetNode("x", "Protected"); err != nil {
+		t.Fatal(err)
+	}
+	// Incidence on a->x allows contraction, but x->b is Hidden.
+	if err := pol.SetIncidence("x", graph.EdgeID{From: "a", To: "x"}, privilege.Public, policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.SetIncidence("x", graph.EdgeID{From: "x", To: "b"}, privilege.Public, policy.Hide); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: surrogate.NewRegistry(lb)}
+	a := mustGenerate(t, spec, privilege.Public)
+	if a.Graph.NumEdges() != 0 {
+		t.Errorf("edges = %v, want none (Hide blocks)", a.Graph.Edges())
+	}
+}
+
+// Definition 8 condition 2: when a direct edge exists between a pair with
+// a restricted incidence, no surrogate edge may reconnect that pair even
+// if a longer permitted path exists.
+func TestNoSurrogateEdgeOverRestrictedDirectEdge(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"u", "x", "v"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("u", "v") // direct, will be restricted
+	g.MustAddEdge("u", "x")
+	g.MustAddEdge("x", "v")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	// Restrict the direct edge at its destination incidence.
+	if err := pol.SetIncidence("v", graph.EdgeID{From: "u", To: "v"}, privilege.Public, policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	// Hide x's role: x is protected, incidences Surrogate.
+	if err := lb.SetNode("x", "Protected"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.SetNodeThreshold("x", "Protected", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: surrogate.NewRegistry(lb)}
+	a := mustGenerate(t, spec, privilege.Public)
+
+	if a.Graph.HasEdge("u", "v") {
+		t.Error("restricted pair u,v reconnected")
+	}
+	if PermittedPath(spec, a, "u", "v") {
+		t.Error("PermittedPath should be false for restricted direct pair")
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+}
+
+// Branching contraction: hidden hub with two visible predecessors and two
+// visible successors yields all four surrogate edges.
+func TestBranchingContraction(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"p1", "p2", "h", "s1", "s2"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("p1", "h")
+	g.MustAddEdge("p2", "h")
+	g.MustAddEdge("h", "s1")
+	g.MustAddEdge("h", "s2")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	if err := lb.SetNode("h", "Protected"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.SetNodeThreshold("h", "Protected", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: surrogate.NewRegistry(lb)}
+	a := mustGenerate(t, spec, privilege.Public)
+
+	for _, want := range [][2]graph.NodeID{{"p1", "s1"}, {"p1", "s2"}, {"p2", "s1"}, {"p2", "s2"}} {
+		if !a.Graph.HasEdge(want[0], want[1]) {
+			t.Errorf("missing surrogate edge %s->%s", want[0], want[1])
+		}
+	}
+	if a.Graph.NumEdges() != 4 {
+		t.Errorf("edges = %v, want exactly 4", a.Graph.Edges())
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+}
+
+// Edge protection via ProtectEdge([V,S]) contracts to the destination's
+// successors — the §6 evaluation transformation.
+func TestProtectEdgeContraction(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "b", "c", "d"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	g.MustAddEdge("c", "d")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	if err := pol.ProtectEdge(graph.EdgeID{From: "a", To: "b"}, "Protected", true); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: surrogate.NewRegistry(lb)}
+	a := mustGenerate(t, spec, privilege.Public)
+
+	if a.Graph.HasEdge("a", "b") {
+		t.Error("protected edge a->b leaked")
+	}
+	if !a.Graph.HasEdge("a", "c") {
+		t.Error("surrogate edge a->c missing")
+	}
+	if !a.Graph.HasEdge("b", "c") || !a.Graph.HasEdge("c", "d") {
+		t.Error("unprotected edges should remain")
+	}
+	if a.Graph.NumNodes() != 4 {
+		t.Error("edge protection should not remove nodes")
+	}
+	// Protected consumer sees everything.
+	full := mustGenerate(t, spec, "Protected")
+	if !full.Graph.Equal(g) {
+		t.Error("Protected consumer's account should equal G")
+	}
+}
+
+// Null-default registry keeps hidden nodes as featureless placeholders.
+func TestNullDefaultSurrogates(t *testing.T) {
+	spec := cfgSpec(t)
+	spec.Surrogates.EnableNullDefault()
+	if err := spec.Policy.SetNode("f", "High-2", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	a := mustGenerate(t, spec, "High-2")
+	nid := surrogate.NullID("f")
+	if !a.Graph.HasNode(nid) {
+		t.Fatalf("null surrogate missing: %v", a.Graph.Nodes())
+	}
+	if a.InfoScore[nid] != 0 {
+		t.Error("null surrogate should score 0")
+	}
+	if !a.Graph.HasEdge("c", "g") {
+		t.Error("surrogate edge c->g missing alongside null surrogate")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	spec := cfgSpec(t)
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := *spec
+	bad.Graph = nil
+	if _, err := Generate(&bad, privilege.Public); err == nil {
+		t.Error("nil graph accepted")
+	}
+	bad = *spec
+	bad.Labeling = nil
+	if _, err := GenerateHide(&bad, privilege.Public); err == nil {
+		t.Error("nil labeling accepted")
+	}
+	bad = *spec
+	bad.Policy = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad = *spec
+	bad.Surrogates = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil registry accepted")
+	}
+	// Mismatched lattices.
+	other := privilege.NewLabeling(privilege.TwoLevel())
+	bad = *spec
+	bad.Labeling = other
+	if err := bad.Validate(); err == nil {
+		t.Error("lattice mismatch accepted")
+	}
+}
+
+func TestVerifySoundCatchesViolations(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec)
+	a := mustGenerate(t, spec, "High-2")
+
+	// Tamper: add an edge with no witnessing path in G.
+	tampered := *a
+	tampered.Graph = a.Graph.Clone()
+	tampered.Graph.MustAddEdge("g", "c")
+	if err := VerifySound(spec, &tampered); err == nil {
+		t.Error("reversed edge passed soundness")
+	}
+
+	// Tamper: expose the sensitive original.
+	tampered2 := *a
+	tampered2.Graph = a.Graph.Clone()
+	tampered2.Graph.AddNodeID("f")
+	t2to := map[graph.NodeID]graph.NodeID{}
+	for k, v := range a.ToOriginal {
+		t2to[k] = v
+	}
+	t2from := map[graph.NodeID]graph.NodeID{}
+	for k, v := range a.FromOriginal {
+		t2from[k] = v
+	}
+	delete(t2to, "f'")
+	delete(t2from, "f")
+	tampered2.Graph.RemoveNode("f'")
+	t2to["f"] = "f"
+	t2from["f"] = "f"
+	tampered2.ToOriginal = t2to
+	tampered2.FromOriginal = t2from
+	if err := VerifySound(spec, &tampered2); err == nil {
+		t.Error("leaked sensitive node passed soundness")
+	}
+
+	// Tamper: two account nodes corresponding to the same original.
+	tampered3 := *a
+	tampered3.Graph = a.Graph.Clone()
+	tampered3.Graph.AddNodeID("dup")
+	t3to := map[graph.NodeID]graph.NodeID{"dup": "c"}
+	for k, v := range a.ToOriginal {
+		t3to[k] = v
+	}
+	tampered3.ToOriginal = t3to
+	if err := VerifySound(spec, &tampered3); err == nil {
+		t.Error("duplicate correspondence passed soundness")
+	}
+}

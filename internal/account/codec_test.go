@@ -1,0 +1,91 @@
+package account
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestAccountJSONRoundTrip(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec)
+	if err := spec.Policy.SetNode("f", "High-2", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	a := mustGenerate(t, spec, "High-2")
+
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Account
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Graph.Equal(a.Graph) {
+		t.Error("graph changed across round trip")
+	}
+	if len(back.HighWater) != 1 || back.Target != "High-2" {
+		t.Errorf("high water lost: %v / %q", back.HighWater, back.Target)
+	}
+	for id, orig := range a.ToOriginal {
+		if back.ToOriginal[id] != orig {
+			t.Errorf("correspondence lost for %s", id)
+		}
+	}
+	for id, sc := range a.InfoScore {
+		if back.InfoScore[id] != sc {
+			t.Errorf("infoScore lost for %s", id)
+		}
+	}
+	if len(back.SurrogateNodes) != len(a.SurrogateNodes) {
+		t.Errorf("surrogate nodes = %d, want %d", len(back.SurrogateNodes), len(a.SurrogateNodes))
+	}
+	if len(back.SurrogateEdges) != len(a.SurrogateEdges) {
+		t.Errorf("surrogate edges = %d, want %d", len(back.SurrogateEdges), len(a.SurrogateEdges))
+	}
+	s, ok := back.SurrogateNodes["f'"]
+	if !ok || s.Lowest != "Low-2" {
+		t.Errorf("surrogate metadata lost: %+v", s)
+	}
+}
+
+func TestAccountJSONRejectsBadInput(t *testing.T) {
+	var a Account
+	if err := json.Unmarshal([]byte(`garbage`), &a); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"nodes":[{"id":"x","original":""}]}`), &a); err == nil {
+		t.Error("missing original accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"nodes":[{"id":"x","original":"o"},{"id":"x","original":"p"}]}`), &a); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"nodes":[{"id":"x","original":"o"},{"id":"y","original":"o"}]}`), &a); err == nil {
+		t.Error("double-mapped original accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"nodes":[{"id":"x","original":"o"}],"edges":[{"from":"x","to":"zz"}]}`), &a); err == nil {
+		t.Error("dangling edge accepted")
+	}
+}
+
+func TestAccountDOT(t *testing.T) {
+	spec := cfgSpec(t)
+	addFSurrogate(t, spec)
+	if err := spec.Policy.SetNode("f", "High-2", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	a := mustGenerate(t, spec, "High-2")
+	dot := a.DOT("fig2d")
+	for _, want := range []string{
+		`digraph "fig2d"`,
+		`style="dashed", color="grey40"`, // the surrogate node f'
+		`"c" -> "g" [style="dashed"]`,    // the surrogate edge
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

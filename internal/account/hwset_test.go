@@ -1,0 +1,300 @@
+package account
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// hwFixture builds a chain whose nodes sit at incomparable privilege
+// levels of the Figure 1 lattice:
+//
+//	pub -> h1 (High-1) -> low (Low-2) -> h2 (High-2) -> tail
+func hwFixture(t *testing.T) *Spec {
+	t.Helper()
+	g := graph.New()
+	for _, id := range []graph.NodeID{"pub", "h1", "low", "h2", "tail"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("pub", "h1")
+	g.MustAddEdge("h1", "low")
+	g.MustAddEdge("low", "h2")
+	g.MustAddEdge("h2", "tail")
+	lat := privilege.FigureOneLattice()
+	lb := privilege.NewLabeling(lat)
+	for id, p := range map[graph.NodeID]privilege.Predicate{
+		"h1": "High-1", "low": "Low-2", "h2": "High-2",
+	} {
+		if err := lb.SetNode(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Spec{Graph: g, Labeling: lb, Policy: policy.New(lat), Surrogates: surrogate.NewRegistry(lb)}
+}
+
+// A high-water set of both incomparable predicates sees the whole graph.
+func TestGenerateForSetUnionVisibility(t *testing.T) {
+	spec := hwFixture(t)
+	a, err := GenerateForSet(spec, []privilege.Predicate{"High-1", "High-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(spec.Graph) {
+		t.Errorf("full HW set should reproduce G, got %v", a.Graph.Edges())
+	}
+	if a.Target != "" {
+		t.Errorf("multi-member account should have empty Target, got %q", a.Target)
+	}
+	if len(a.HighWater) != 2 {
+		t.Errorf("HighWater = %v", a.HighWater)
+	}
+	if err := VerifySound(spec, a); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyMaximal(spec, a); err != nil {
+		t.Error(err)
+	}
+}
+
+// Each singleton member alone sees only its own branch.
+func TestGenerateForSetSingletonsDiffer(t *testing.T) {
+	spec := hwFixture(t)
+	a1, err := GenerateForSet(spec, []privilege.Predicate{"High-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Graph.HasNode("h1") || a1.Graph.HasNode("h2") {
+		t.Errorf("High-1 view wrong: %v", a1.Graph.Nodes())
+	}
+	a2, err := GenerateForSet(spec, []privilege.Predicate{"High-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Graph.HasNode("h1") || !a2.Graph.HasNode("h2") {
+		t.Errorf("High-2 view wrong: %v", a2.Graph.Nodes())
+	}
+}
+
+// The set is reduced to its maximal antichain: {High-1, Low-2, Public}
+// behaves exactly like {High-1}.
+func TestGenerateForSetNormalisesAntichain(t *testing.T) {
+	spec := hwFixture(t)
+	a, err := GenerateForSet(spec, []privilege.Predicate{"High-1", "Low-2", privilege.Public})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.HighWater) != 1 || a.HighWater[0] != "High-1" {
+		t.Errorf("HighWater = %v, want [High-1]", a.HighWater)
+	}
+	if a.Target != "High-1" {
+		t.Errorf("Target = %q, want High-1 after reduction", a.Target)
+	}
+	b, err := Generate(spec, "High-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) {
+		t.Error("reduced set differs from singleton generation")
+	}
+}
+
+// A Hide marking under any member kills the edge even when another member
+// sees it Visible (protection beats information, Definition 8).
+func TestGenerateForSetHideWinsAcrossMembers(t *testing.T) {
+	spec := hwFixture(t)
+	e := graph.EdgeID{From: "pub", To: "h1"}
+	// Visible for High-1 viewers, Hide for High-2 viewers.
+	if err := spec.Policy.SetIncidence("pub", e, "High-2", policy.Hide); err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateForSet(spec, []privilege.Predicate{"High-1", "High-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.HasEdge("pub", "h1") {
+		t.Error("edge shown despite a Hide marking under one member")
+	}
+	if err := VerifySound(spec, a); err != nil {
+		t.Error(err)
+	}
+}
+
+// Surrogate selection across the set: a node invisible to every member
+// uses the best surrogate visible via any member.
+func TestGenerateForSetSurrogateSelection(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "x", "b"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "x")
+	g.MustAddEdge("x", "b")
+	lat := privilege.FigureOneLattice()
+	lb := privilege.NewLabeling(lat)
+	// x needs more than either member offers: label it High-1 and query
+	// with {High-2, Low-2}-ish sets. High-1 is invisible to High-2.
+	if err := lb.SetNode("x", "High-1"); err != nil {
+		t.Fatal(err)
+	}
+	reg := surrogate.NewRegistry(lb)
+	if err := reg.Add("x", surrogate.Surrogate{ID: "x-pub", Lowest: privilege.Public, InfoScore: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("x", surrogate.Surrogate{ID: "x-h2", Lowest: "High-2", InfoScore: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Graph: g, Labeling: lb, Policy: policy.New(lat), Surrogates: reg}
+
+	a, err := GenerateForSet(spec, []privilege.Predicate{"High-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.HasNode("x-h2") {
+		t.Errorf("High-2 member should unlock the High-2 surrogate: %v", a.Graph.Nodes())
+	}
+	b, err := GenerateForSet(spec, []privilege.Predicate{privilege.Public})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Graph.HasNode("x-pub") {
+		t.Errorf("Public set should fall back to the public surrogate: %v", b.Graph.Nodes())
+	}
+}
+
+func TestGenerateForSetValidation(t *testing.T) {
+	spec := hwFixture(t)
+	if _, err := GenerateForSet(spec, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := GenerateForSet(spec, []privilege.Predicate{"Bogus"}); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+	if _, err := GenerateHideForSet(spec, nil); err == nil {
+		t.Error("hide: empty set accepted")
+	}
+}
+
+func TestGenerateHideForSet(t *testing.T) {
+	spec := hwFixture(t)
+	a, err := GenerateHideForSet(spec, []privilege.Predicate{"High-1", "High-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() != 5 || a.Graph.NumEdges() != 4 {
+		t.Errorf("union hide account = %v", a.Graph.Edges())
+	}
+	if err := VerifySound(spec, a); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union monotonicity — everything present in a singleton
+// account is present (and connected the same way or better) in the
+// two-member account.
+func TestGenerateForSetMonotoneProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomHWSpec(r)
+		single, err := GenerateForSet(spec, []privilege.Predicate{"High-1"})
+		if err != nil {
+			return false
+		}
+		union, err := GenerateForSet(spec, []privilege.Predicate{"High-1", "High-2"})
+		if err != nil {
+			return false
+		}
+		if err := VerifySound(spec, union); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for orig := range single.FromOriginal {
+			if !union.Present(orig) {
+				t.Logf("seed %d: node %s lost in union account", seed, orig)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomHWSpec builds random DAGs over the Figure 1 lattice with random
+// labels and role protections.
+func randomHWSpec(r *rand.Rand) *Spec {
+	n := 4 + r.Intn(7)
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(string(rune('a' + i)))
+		g.AddNodeID(ids[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.4 {
+				g.MustAddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	lat := privilege.FigureOneLattice()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	reg := surrogate.NewRegistry(lb)
+	levels := []privilege.Predicate{privilege.Public, "Low-2", "High-1", "High-2"}
+	for _, id := range ids {
+		lv := levels[r.Intn(len(levels))]
+		if lv != privilege.Public {
+			if err := lb.SetNode(id, lv); err != nil {
+				panic(err)
+			}
+			if r.Intn(2) == 0 {
+				below := policy.Surrogate
+				if r.Intn(3) == 0 {
+					below = policy.Hide
+				}
+				if err := pol.SetNodeThreshold(id, lv, below); err != nil {
+					panic(err)
+				}
+			}
+			if r.Intn(2) == 0 {
+				if err := reg.Add(id, surrogate.Surrogate{
+					ID:        id + "'",
+					Lowest:    privilege.Public,
+					InfoScore: float64(r.Intn(10)) / 10,
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return &Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: reg}
+}
+
+// Property: multi-member accounts remain sound and maximally informative.
+func TestGenerateForSetSoundMaximalProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomHWSpec(r)
+		a, err := GenerateForSet(spec, []privilege.Predicate{"High-1", "High-2"})
+		if err != nil {
+			return false
+		}
+		if err := VerifySound(spec, a); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := VerifyMaximal(spec, a); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

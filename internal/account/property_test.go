@@ -1,0 +1,177 @@
+package account
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// randomSpec builds a random DAG with random sensitivity labels, random
+// incidence markings and random surrogates over the two-level lattice.
+// Everything is driven by the seed, so failures reproduce.
+func randomSpec(r *rand.Rand) *Spec {
+	n := 4 + r.Intn(8)
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(fmt.Sprintf("n%02d", i))
+		g.AddNodeID(ids[i])
+	}
+	// Forward edges only: acyclic by construction.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.35 {
+				g.MustAddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	reg := surrogate.NewRegistry(lb)
+
+	for _, id := range ids {
+		if r.Float64() < 0.4 { // sensitive node
+			if err := lb.SetNode(id, "Protected"); err != nil {
+				panic(err)
+			}
+			// Its provider marks incidences: mostly Surrogate, sometimes
+			// Hide, occasionally left Visible (the effective-mark downgrade
+			// path).
+			switch r.Intn(4) {
+			case 0:
+				if err := pol.SetNodeThreshold(id, "Protected", policy.Hide); err != nil {
+					panic(err)
+				}
+			case 1, 2:
+				if err := pol.SetNodeThreshold(id, "Protected", policy.Surrogate); err != nil {
+					panic(err)
+				}
+			}
+			if r.Float64() < 0.5 { // sometimes a surrogate exists
+				if err := reg.Add(id, surrogate.Surrogate{
+					ID:        id + "'",
+					Lowest:    privilege.Public,
+					InfoScore: float64(r.Intn(10)) / 10,
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// Random extra edge protections.
+	for _, e := range g.Edges() {
+		if r.Float64() < 0.2 {
+			if err := pol.ProtectEdge(e.ID(), "Protected", r.Intn(2) == 0); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return &Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: reg}
+}
+
+// Property: generated accounts are always sound (Definition 5 + the
+// protection guarantee) and maximally informative (Definition 9).
+func TestGenerateSoundAndMaximalProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		a, err := Generate(spec, privilege.Public)
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+		if err := VerifySound(spec, a); err != nil {
+			t.Logf("seed %d: unsound: %v", seed, err)
+			return false
+		}
+		if err := VerifyMaximal(spec, a); err != nil {
+			t.Logf("seed %d: not maximal: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the hide baseline is always sound, and the surrogate account
+// weakly dominates it — every hide node is present and every connected
+// pair of the hide account stays connected in the surrogate account.
+func TestSurrogateDominatesHideProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		h, err := GenerateHide(spec, privilege.Public)
+		if err != nil {
+			return false
+		}
+		if err := VerifySound(spec, h); err != nil {
+			t.Logf("seed %d: hide unsound: %v", seed, err)
+			return false
+		}
+		s, err := Generate(spec, privilege.Public)
+		if err != nil {
+			return false
+		}
+		for orig := range h.FromOriginal {
+			if !s.Present(orig) {
+				t.Logf("seed %d: node %s in hide but not surrogate account", seed, orig)
+				return false
+			}
+		}
+		for _, e := range h.Graph.Edges() {
+			su, okU := s.Corresponding(h.ToOriginal[e.From])
+			sv, okV := s.Corresponding(h.ToOriginal[e.To])
+			if !okU || !okV || !s.Graph.HasPath(su, sv) {
+				t.Logf("seed %d: hide edge %s unreflected in surrogate account", seed, e.ID())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: full-privilege consumers always get G back exactly.
+func TestFullPrivilegeIdentityProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		a, err := Generate(spec, "Protected")
+		if err != nil {
+			return false
+		}
+		return a.Graph.Equal(spec.Graph)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: accounts are deterministic — generating twice yields equal
+// graphs.
+func TestGenerateDeterministicProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		a1, err1 := Generate(spec, privilege.Public)
+		a2, err2 := Generate(spec, privilege.Public)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a1.Graph.Equal(a2.Graph)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

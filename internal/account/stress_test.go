@@ -1,0 +1,38 @@
+package account
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/privilege"
+)
+
+// TestGenerateMaximalStress runs the soundness + maximality property over
+// a much larger sample than the default property test; it is the safety
+// net for the veto-driven fast path that skips the completion sweep.
+func TestGenerateMaximalStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		a, err := Generate(spec, privilege.Public)
+		if err != nil {
+			return false
+		}
+		if err := VerifySound(spec, a); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := VerifyMaximal(spec, a); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

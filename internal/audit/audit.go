@@ -1,0 +1,185 @@
+// Package audit analyses the composition risk of releasing several
+// protected accounts of the same graph: an attacker holding accounts for
+// different privilege-predicates can union what they show and infer
+// topology that no single account reveals. This extends the paper's §4.2
+// opacity analysis (which scores one account at a time) to the
+// multi-account setting an administrator actually faces when serving
+// several consumer classes.
+//
+// The audit is worst-case: it assumes the attacker can link surrogate
+// nodes across accounts back to a common original (e.g. by position or
+// shared features), so account nodes are unified by their corresponding
+// original node.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/measure"
+	"repro/internal/privilege"
+)
+
+// Composition is the union of what a set of accounts reveals, expressed
+// over original node ids.
+type Composition struct {
+	// Union contains a node per original that appears (as itself or via a
+	// surrogate) in at least one account, and an edge per ordered pair
+	// some account connects directly.
+	Union *graph.Graph
+	// Sources records which accounts contributed each union edge (indexes
+	// into the audited account list).
+	Sources map[graph.EdgeID][]int
+	// RevealedPairs lists ordered pairs that are connected in the union
+	// but in none of the individual accounts — pure composition gain.
+	RevealedPairs [][2]graph.NodeID
+}
+
+// Compose unions the given accounts of one spec.
+func Compose(spec *account.Spec, accounts ...*account.Account) (*Composition, error) {
+	if len(accounts) == 0 {
+		return nil, fmt.Errorf("audit: no accounts to compose")
+	}
+	union := graph.New()
+	sources := map[graph.EdgeID][]int{}
+	for i, a := range accounts {
+		for _, id := range a.Graph.Nodes() {
+			orig, ok := a.ToOriginal[id]
+			if !ok {
+				return nil, fmt.Errorf("audit: account %d node %s has no original", i, id)
+			}
+			if !spec.Graph.HasNode(orig) {
+				return nil, fmt.Errorf("audit: account %d references unknown original %s", i, orig)
+			}
+			union.AddNodeID(orig)
+		}
+		for _, e := range a.Graph.Edges() {
+			oe := graph.Edge{From: a.ToOriginal[e.From], To: a.ToOriginal[e.To]}
+			if !union.HasEdge(oe.From, oe.To) {
+				if err := union.AddEdge(oe); err != nil {
+					return nil, err
+				}
+			}
+			sources[oe.ID()] = append(sources[oe.ID()], i)
+		}
+	}
+
+	// Composition gain: pairs connected in the union but in no account.
+	var revealed [][2]graph.NodeID
+	for _, u := range union.Nodes() {
+		reach := union.Reachable(u, graph.Forward)
+		for v := range reach {
+			inSome := false
+			for _, a := range accounts {
+				au, okU := a.Corresponding(u)
+				av, okV := a.Corresponding(v)
+				if okU && okV && a.Graph.HasPath(au, av) {
+					inSome = true
+					break
+				}
+			}
+			if !inSome {
+				revealed = append(revealed, [2]graph.NodeID{u, v})
+			}
+		}
+	}
+	sort.Slice(revealed, func(i, j int) bool {
+		if revealed[i][0] != revealed[j][0] {
+			return revealed[i][0] < revealed[j][0]
+		}
+		return revealed[i][1] < revealed[j][1]
+	})
+	return &Composition{Union: union, Sources: sources, RevealedPairs: revealed}, nil
+}
+
+// asAccount wraps the union as a pseudo-account over original ids so the
+// opacity measure can score it: the attacker's combined view.
+func (c *Composition) asAccount() *account.Account {
+	to := map[graph.NodeID]graph.NodeID{}
+	from := map[graph.NodeID]graph.NodeID{}
+	scores := map[graph.NodeID]float64{}
+	for _, id := range c.Union.Nodes() {
+		to[id] = id
+		from[id] = id
+		scores[id] = 1
+	}
+	return &account.Account{
+		Graph:        c.Union,
+		ToOriginal:   to,
+		FromOriginal: from,
+		InfoScore:    scores,
+	}
+}
+
+// EdgeOpacity scores one original edge against the combined view: the
+// residual difficulty of inferring it once every released account is in
+// the attacker's hands.
+func (c *Composition) EdgeOpacity(spec *account.Spec, e graph.EdgeID, adv measure.Adversary) float64 {
+	return measure.EdgeOpacity(spec, c.asAccount(), e, adv)
+}
+
+// Finding summarises the audit of one sensitive edge across the released
+// accounts and their composition.
+type Finding struct {
+	Edge              graph.EdgeID
+	PerAccountOpacity []float64
+	ComposedOpacity   float64
+	// Degradation is min(per-account) − composed: how much protection the
+	// combination costs relative to the safest single release.
+	Degradation float64
+}
+
+// AuditEdges scores each given edge under every account individually and
+// under the composition.
+func AuditEdges(spec *account.Spec, accounts []*account.Account, edges []graph.EdgeID, adv measure.Adversary) ([]Finding, error) {
+	comp, err := Compose(spec, accounts...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, e := range edges {
+		f := Finding{Edge: e}
+		minOp := 1.0
+		for _, a := range accounts {
+			op := measure.EdgeOpacity(spec, a, e, adv)
+			f.PerAccountOpacity = append(f.PerAccountOpacity, op)
+			if op < minOp {
+				minOp = op
+			}
+		}
+		f.ComposedOpacity = comp.EdgeOpacity(spec, e, adv)
+		f.Degradation = minOp - f.ComposedOpacity
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Report renders an audit in text form for administrators.
+func Report(spec *account.Spec, viewers []privilege.Predicate, accounts []*account.Account, edges []graph.EdgeID, adv measure.Adversary) (string, error) {
+	findings, err := AuditEdges(spec, accounts, edges, adv)
+	if err != nil {
+		return "", err
+	}
+	comp, err := Compose(spec, accounts...)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "composition audit over %d accounts (%v)\n", len(accounts), viewers)
+	fmt.Fprintf(&b, "union view: %d nodes, %d edges; %d pairs revealed only by composition\n",
+		comp.Union.NumNodes(), comp.Union.NumEdges(), len(comp.RevealedPairs))
+	for _, p := range comp.RevealedPairs {
+		fmt.Fprintf(&b, "  revealed pair: %s -> %s\n", p[0], p[1])
+	}
+	for _, f := range findings {
+		fmt.Fprintf(&b, "edge %-14s composed opacity %.3f (per account:", f.Edge, f.ComposedOpacity)
+		for _, op := range f.PerAccountOpacity {
+			fmt.Fprintf(&b, " %.3f", op)
+		}
+		fmt.Fprintf(&b, "), degradation %.3f\n", f.Degradation)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/measure"
+	"repro/internal/privilege"
+)
+
+// TestSpecFilePipelineRunningExample drives the full public pipeline —
+// JSON spec file -> builder -> protected accounts -> measures — on the
+// paper's running example expressed as a spec file, and checks the Table 1
+// path utilities come out of the spec-file path too.
+func TestSpecFilePipelineRunningExample(t *testing.T) {
+	specJSON := []byte(`{
+	  "lattice": [["High-1","Low-2"], ["High-2","Low-2"], ["Low-2","Public"]],
+	  "nodes": [
+	    {"id":"a1","lowest":"High-1","protect":"surrogate"},
+	    {"id":"a2","lowest":"High-1","protect":"surrogate"},
+	    {"id":"b"}, {"id":"c"},
+	    {"id":"d","lowest":"High-1","protect":"surrogate"},
+	    {"id":"e","lowest":"High-1","protect":"surrogate"},
+	    {"id":"f","lowest":"High-1","protect":"surrogate"},
+	    {"id":"g"}, {"id":"h"}, {"id":"i"}, {"id":"j"}
+	  ],
+	  "edges": [
+	    {"from":"a1","to":"a2"}, {"from":"a2","to":"b"}, {"from":"b","to":"c"},
+	    {"from":"c","to":"d"}, {"from":"d","to":"e"}, {"from":"e","to":"f"},
+	    {"from":"c","to":"f"}, {"from":"f","to":"g"},
+	    {"from":"g","to":"h"}, {"from":"h","to":"i"}, {"from":"i","to":"j"}
+	  ],
+	  "surrogates": [
+	    {"for":"f","id":"f'","lowest":"Low-2","infoScore":0.5,
+	     "features":{"name":"a trusted law enforcement source"}}
+	  ]
+	}`)
+	spec, err := ParseSpecJSON(specJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// High-2 viewer: the Figure 2d configuration (surrogate node + edge).
+	res, err := Protect(spec, "High-2", Surrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := account.VerifyMaximal(spec, res.Account); err != nil {
+		t.Errorf("not maximal: %v", err)
+	}
+	if got, want := res.Utility.Path, 0.273; math.Abs(got-want) > 0.005 {
+		t.Errorf("High-2 path utility = %.3f, want ~%.3f (Table 1, 2d)", got, want)
+	}
+	if !res.Account.Graph.HasEdge("c", "g") || !res.Account.Graph.HasNode("f'") {
+		t.Errorf("2d shape wrong: %v", res.Account.Graph.Edges())
+	}
+	op := measure.EdgeOpacity(spec, res.Account, fgEdge(), measure.Figure5())
+	if math.Abs(op-0.948) > 0.01 {
+		t.Errorf("opacity(f->g) = %.3f, want ~.948 (Table 1, 2d)", op)
+	}
+
+	// The full-privilege union view reproduces G.
+	union, err := ProtectSet(spec, []privilege.Predicate{"High-1", "High-2"}, Surrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !union.Account.Graph.Equal(spec.Graph) {
+		t.Error("full-privilege set should reproduce G")
+	}
+}
+
+func fgEdge() graph.EdgeID { return graph.EdgeID{From: "f", To: "g"} }

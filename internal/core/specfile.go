@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// SpecFile is the JSON interchange format for a sensitive graph plus its
+// protection inputs, shared by cmd/protect and cmd/audit:
+//
+//	{
+//	  "lattice":    [["High-1","Low-2"], ["Low-2","Public"]],
+//	  "nodes":      [{"id":"f","lowest":"High-1","protect":"surrogate",
+//	                  "features":{"name":"..."}}],
+//	  "edges":      [{"from":"c","to":"f","label":"knows",
+//	                  "protectAt":"High-2","protectMode":"surrogate"}],
+//	  "surrogates": [{"for":"f","id":"f'","lowest":"Low-2","infoScore":0.5}]
+//	}
+//
+// Lattice pairs are [dominator, dominated]; "Public" is implicit. Node
+// protect modes are "surrogate", "hide" or empty (incidences stay
+// Visible); edge protectMode likewise, applied at the destination
+// incidence below protectAt.
+type SpecFile struct {
+	Lattice    [][2]string         `json:"lattice"`
+	Nodes      []SpecFileNode      `json:"nodes"`
+	Edges      []SpecFileEdge      `json:"edges"`
+	Surrogates []SpecFileSurrogate `json:"surrogates"`
+}
+
+// SpecFileNode describes one node of the spec file.
+type SpecFileNode struct {
+	ID       string            `json:"id"`
+	Lowest   string            `json:"lowest,omitempty"`
+	Protect  string            `json:"protect,omitempty"`
+	Features map[string]string `json:"features,omitempty"`
+}
+
+// SpecFileEdge describes one edge of the spec file.
+type SpecFileEdge struct {
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Label       string `json:"label,omitempty"`
+	ProtectAt   string `json:"protectAt,omitempty"`
+	ProtectMode string `json:"protectMode,omitempty"`
+}
+
+// SpecFileSurrogate describes one provider surrogate of the spec file.
+type SpecFileSurrogate struct {
+	For       string            `json:"for"`
+	ID        string            `json:"id"`
+	Lowest    string            `json:"lowest,omitempty"`
+	InfoScore float64           `json:"infoScore"`
+	Features  map[string]string `json:"features,omitempty"`
+}
+
+// BuildSpec assembles the account.Spec a parsed spec file describes.
+func (sf *SpecFile) BuildSpec() (*account.Spec, error) {
+	lat, err := privilege.FromPairs(sf.Lattice)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(lat)
+	for _, n := range sf.Nodes {
+		b.Node(graph.NodeID(n.ID), privilege.Predicate(n.Lowest), n.Features)
+		switch n.Protect {
+		case "surrogate":
+			b.ProtectRole(graph.NodeID(n.ID), Surrogate)
+		case "hide":
+			b.ProtectRole(graph.NodeID(n.ID), Hide)
+		case "":
+		default:
+			return nil, fmt.Errorf("core: node %s: unknown protect mode %q", n.ID, n.Protect)
+		}
+	}
+	for _, e := range sf.Edges {
+		b.Edge(graph.NodeID(e.From), graph.NodeID(e.To), e.Label)
+		if e.ProtectAt != "" {
+			mode := Surrogate
+			switch e.ProtectMode {
+			case "", "surrogate":
+			case "hide":
+				mode = Hide
+			default:
+				return nil, fmt.Errorf("core: edge %s->%s: unknown protect mode %q", e.From, e.To, e.ProtectMode)
+			}
+			b.ProtectEdge(graph.NodeID(e.From), graph.NodeID(e.To), privilege.Predicate(e.ProtectAt), mode)
+		}
+	}
+	for _, s := range sf.Surrogates {
+		lowest := privilege.Predicate(s.Lowest)
+		if s.Lowest == "" {
+			lowest = privilege.Public
+		}
+		b.WithSurrogate(graph.NodeID(s.For), surrogate.Surrogate{
+			ID:        graph.NodeID(s.ID),
+			Lowest:    lowest,
+			InfoScore: s.InfoScore,
+			Features:  s.Features,
+		})
+	}
+	return b.Spec()
+}
+
+// ParseSpecJSON decodes a spec file and builds its account.Spec.
+func ParseSpecJSON(data []byte) (*account.Spec, error) {
+	var sf SpecFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("core: parse spec: %w", err)
+	}
+	return sf.BuildSpec()
+}

@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/workload"
+)
+
+// This file holds the ablations for the design choices DESIGN.md calls
+// out: adversary-constant sensitivity, the destination-side edge-marking
+// convention, the value of <null> default surrogates, and the redundancy
+// of interposed surrogate edges.
+
+// AdversaryVariant is one setting of the Figure 5 constants.
+type AdversaryVariant struct {
+	Name string
+	Adv  measure.Advanced
+}
+
+// AdversaryVariants spans the Figure 5 constants: the paper's values, a
+// flatter attacker (weaker focus contrast), a sharper one, and a wider
+// loner definition.
+func AdversaryVariants() []AdversaryVariant {
+	return []AdversaryVariant{
+		{Name: "paper(Fig5)", Adv: measure.Figure5()},
+		{Name: "flat", Adv: measure.Advanced{LonerMax: 1, LowDegreeMax: 1, HighFP: 0.5, LowFP: 0.3, HighIE: 0.5, LowIE: 0.3}},
+		{Name: "sharp", Adv: measure.Advanced{LonerMax: 1, LowDegreeMax: 1, HighFP: 0.95, LowFP: 0.05, HighIE: 0.95, LowIE: 0.05}},
+		{Name: "wide-loner", Adv: measure.Advanced{LonerMax: 2, LowDegreeMax: 2, HighFP: 0.8, LowFP: 0.2, HighIE: 0.8, LowIE: 0.2}},
+	}
+}
+
+// AblationAdversary re-runs the Figure 7 motif comparison under each
+// adversary variant. The design claim under test: the paper's qualitative
+// result (surrogating never lowers opacity, zero exactly for Bipartite and
+// Lattice) does not hinge on the particular Figure 5 constants.
+func AblationAdversary() (*Table, error) {
+	t := &Table{
+		Title:  "Ablation: motif opacity differences under varied adversary constants",
+		Header: []string{"adversary", "motif", "dOpacity", "sign"},
+	}
+	for _, v := range AdversaryVariants() {
+		for _, m := range workload.Motifs() {
+			var ops [2]float64
+			for i, asSurrogate := range []bool{false, true} {
+				spec, err := workload.ProtectSpec(m.Graph, []graph.EdgeID{m.Protected}, asSurrogate)
+				if err != nil {
+					return nil, err
+				}
+				a, err := account.Generate(spec, privilege.Public)
+				if err != nil {
+					return nil, err
+				}
+				ops[i] = measure.EdgeOpacity(spec, a, m.Protected, v.Adv)
+			}
+			d := ops[1] - ops[0]
+			sign := "0"
+			switch {
+			case d > 1e-9:
+				sign = "+"
+			case d < -1e-9:
+				sign = "-"
+			}
+			t.Add(v.Name, m.Name, d, sign)
+		}
+	}
+	return t, nil
+}
+
+// AblationSide compares the three choices of which incidence an edge
+// protection marks, on the motif workload. The design claim under test:
+// destination-side marking (the DESIGN.md convention) dominates
+// source-side for utility on these root-anchored motifs, and both-sides
+// never beats the better single side.
+func AblationSide() (*Table, error) {
+	t := &Table{
+		Title:  "Ablation: edge-protection side (utility of the surrogate account per motif)",
+		Header: []string{"motif", "dst(paper)", "src", "both", "hide"},
+	}
+	for _, m := range workload.Motifs() {
+		utils := map[policy.Side]float64{}
+		for _, side := range []policy.Side{policy.DstSide, policy.SrcSide, policy.BothSides} {
+			spec, err := workload.ProtectSpecSide(m.Graph, []graph.EdgeID{m.Protected}, true, side)
+			if err != nil {
+				return nil, err
+			}
+			a, err := account.Generate(spec, privilege.Public)
+			if err != nil {
+				return nil, err
+			}
+			utils[side] = measure.PathUtility(spec, a)
+		}
+		hideSpec, err := workload.ProtectSpec(m.Graph, []graph.EdgeID{m.Protected}, false)
+		if err != nil {
+			return nil, err
+		}
+		h, err := account.Generate(hideSpec, privilege.Public)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(m.Name, utils[policy.DstSide], utils[policy.SrcSide], utils[policy.BothSides],
+			measure.PathUtility(hideSpec, h))
+	}
+	return t, nil
+}
+
+// NullAblationRow compares accounts with and without <null> default
+// surrogates on one node-protection workload.
+type NullAblationRow struct {
+	FractionProtected float64
+	PathUtilityNoNull float64
+	PathUtilityNull   float64
+	NodeUtilityNoNull float64
+	NodeUtilityNull   float64
+}
+
+// AblationNullSurrogates runs the §4.1 claim — a featureless <null>
+// surrogate adds no node information but can restore connectivity — on
+// synthetic graphs with a growing fraction of protected nodes and no
+// provider surrogates.
+func AblationNullSurrogates() ([]NullAblationRow, error) {
+	var rows []NullAblationRow
+	for _, frac := range []float64{0.1, 0.2, 0.3, 0.4} {
+		syn, err := workload.GenerateSynthetic(workload.SyntheticConfig{
+			Nodes: 120, TargetConnected: 30, ProtectFraction: 0, Seed: int64(3000 + int(frac*100)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes := workload.SelectNodes(syn.Graph, frac, 11)
+		row := NullAblationRow{FractionProtected: frac}
+		for _, withNull := range []bool{false, true} {
+			spec, err := workload.NodeProtectSpec(syn.Graph, nodes, withNull)
+			if err != nil {
+				return nil, err
+			}
+			a, err := account.Generate(spec, privilege.Public)
+			if err != nil {
+				return nil, err
+			}
+			pu := measure.PathUtility(spec, a)
+			nu := measure.NodeUtility(spec, a)
+			if withNull {
+				row.PathUtilityNull, row.NodeUtilityNull = pu, nu
+			} else {
+				row.PathUtilityNoNull, row.NodeUtilityNoNull = pu, nu
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationNullTable renders the null-surrogate ablation.
+func AblationNullTable() (*Table, error) {
+	rows, err := AblationNullSurrogates()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: <null> default surrogates on node-protected synthetic graphs",
+		Header: []string{"nodes protected", "pathUtil (no null)", "pathUtil (null)", "nodeUtil (no null)", "nodeUtil (null)"},
+	}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%.0f%%", r.FractionProtected*100),
+			r.PathUtilityNoNull, r.PathUtilityNull, r.NodeUtilityNoNull, r.NodeUtilityNull)
+	}
+	return t, nil
+}
+
+// AblationAttackerClass compares the two attacker classes of §4.2 — the
+// naïve attacker with no knowledge of general graph properties, and the
+// advanced adversary of Figure 5 — on the running example's Table 1
+// scenarios. The design claim under test: opacity is calibrated against
+// the stronger attacker; a naïve attacker always faces at least as much
+// difficulty.
+func AblationAttackerClass() (*Table, error) {
+	r := NewRunning()
+	naive := measure.Naive{}
+	advanced := measure.Figure5()
+	t := &Table{
+		Title:  "Ablation: opacity of f->g against naive vs advanced attackers",
+		Header: []string{"graph", "naive", "advanced(Fig5)"},
+	}
+	for _, s := range []Scenario{Fig2a, Fig2b, Fig2c, Fig2d} {
+		spec, a, err := r.Account(s)
+		if err != nil {
+			return nil, err
+		}
+		opNaive := measure.EdgeOpacity(spec, a, r.FG, naive)
+		opAdv := measure.EdgeOpacity(spec, a, r.FG, advanced)
+		t.Add(s, opNaive, opAdv)
+	}
+	return t, nil
+}
+
+// AblationRedundancy counts how many interposed surrogate edges merely
+// restate connectivity already present (the Lattice-motif effect of §6.2),
+// across synthetic edge-protection workloads. High redundancy would argue
+// for a transitive-reduction post-pass; the paper keeps redundant edges
+// because they still raise opacity.
+func AblationRedundancy() (*Table, error) {
+	t := &Table{
+		Title:  "Ablation: redundancy of interposed surrogate edges (synthetic, 120 nodes)",
+		Header: []string{"protected%", "surrogateEdges", "redundant", "redundant%"},
+	}
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		syn, err := workload.GenerateSynthetic(workload.SyntheticConfig{
+			Nodes: 120, TargetConnected: 30, ProtectFraction: frac, Seed: int64(4000 + int(frac*100)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		spec, err := workload.ProtectSpec(syn.Graph, syn.Protected, true)
+		if err != nil {
+			return nil, err
+		}
+		a, err := account.Generate(spec, privilege.Public)
+		if err != nil {
+			return nil, err
+		}
+		redundant := 0
+		for _, e := range a.Graph.RedundantEdges() {
+			if a.SurrogateEdges[e] {
+				redundant++
+			}
+		}
+		total := len(a.SurrogateEdges)
+		pct := 0.0
+		if total > 0 {
+			pct = float64(redundant) / float64(total)
+		}
+		t.Add(fmt.Sprintf("%.0f%%", frac*100), total, redundant, pct)
+	}
+	return t, nil
+}

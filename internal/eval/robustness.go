@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/account"
+	"repro/internal/measure"
+	"repro/internal/privilege"
+	"repro/internal/workload"
+)
+
+// RobustnessRow is one (family, protection) cell of the robustness sweep:
+// the surrogate-vs-hide comparison re-run on a structurally different
+// graph family.
+type RobustnessRow struct {
+	Family           workload.Family
+	ProtectFraction  float64
+	MeanConnected    float64
+	Edges            int
+	UtilityHide      float64
+	UtilitySurrogate float64
+	OpacityHide      float64 // scale-free reading over protected edges
+	OpacitySurrogate float64
+}
+
+// DeltaUtility is the surrogate-minus-hide path-utility difference.
+func (r RobustnessRow) DeltaUtility() float64 { return r.UtilitySurrogate - r.UtilityHide }
+
+// DeltaOpacity is the surrogate-minus-hide opacity difference.
+func (r RobustnessRow) DeltaOpacity() float64 { return r.OpacitySurrogate - r.OpacityHide }
+
+// RobustnessSweep runs the §6.3 comparison across graph families
+// (random, layered workflow, scale-free) and protection levels. The
+// extension claim: the paper's conclusion — surrogating is always at least
+// as good as hiding — is a property of the mechanism, not of the §6.1.2
+// generator.
+func RobustnessSweep(nodes int) ([]RobustnessRow, error) {
+	adv := measure.Figure5()
+	var rows []RobustnessRow
+	for _, fam := range workload.Families() {
+		for fi, frac := range []float64{0.1, 0.5, 0.9} {
+			syn, err := workload.GenerateFamily(fam, workload.SyntheticConfig{
+				Nodes:           nodes,
+				TargetConnected: float64(nodes) / 4,
+				ProtectFraction: frac,
+				Seed:            int64(6000 + fi),
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := RobustnessRow{
+				Family:          fam,
+				ProtectFraction: frac,
+				MeanConnected:   syn.MeanConnected,
+				Edges:           syn.Graph.NumEdges(),
+			}
+			for _, asSurrogate := range []bool{false, true} {
+				spec, err := workload.ProtectSpec(syn.Graph, syn.Protected, asSurrogate)
+				if err != nil {
+					return nil, err
+				}
+				a, err := account.Generate(spec, privilege.Public)
+				if err != nil {
+					return nil, err
+				}
+				pu := measure.PathUtility(spec, a)
+				op := measure.AverageOpacityScaleFree(spec, a, syn.Protected, adv)
+				if asSurrogate {
+					row.UtilitySurrogate, row.OpacitySurrogate = pu, op
+				} else {
+					row.UtilityHide, row.OpacityHide = pu, op
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RobustnessTable renders the sweep.
+func RobustnessTable(nodes int) (*Table, error) {
+	rows, err := RobustnessSweep(nodes)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Extension: surrogate vs hide across graph families (%d nodes)", nodes),
+		Header: []string{"family", "protected%", "dUtility", "dOpacity", "utility(hide)", "utility(surr)"},
+	}
+	for _, r := range rows {
+		t.Add(string(r.Family), fmt.Sprintf("%.0f%%", r.ProtectFraction*100),
+			r.DeltaUtility(), r.DeltaOpacity(), r.UtilityHide, r.UtilitySurrogate)
+	}
+	return t, nil
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRobustnessSweepAllFamiliesPositive(t *testing.T) {
+	rows, err := RobustnessSweep(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // 3 families x 3 protection levels
+		t.Fatalf("rows = %d", len(rows))
+	}
+	seen := map[workload.Family]int{}
+	for _, r := range rows {
+		seen[r.Family]++
+		if r.DeltaUtility() < -1e-9 {
+			t.Errorf("%s/%.0f%%: negative utility difference %v", r.Family, r.ProtectFraction*100, r.DeltaUtility())
+		}
+		if r.DeltaOpacity() < -1e-9 {
+			t.Errorf("%s/%.0f%%: negative opacity difference %v", r.Family, r.ProtectFraction*100, r.DeltaOpacity())
+		}
+		if r.UtilityHide < 0 || r.UtilitySurrogate > 1 {
+			t.Errorf("%s: utilities out of range: %+v", r.Family, r)
+		}
+		if r.Edges == 0 || r.MeanConnected <= 0 {
+			t.Errorf("%s: degenerate graph: %+v", r.Family, r)
+		}
+	}
+	for _, fam := range workload.Families() {
+		if seen[fam] != 3 {
+			t.Errorf("family %s has %d rows, want 3", fam, seen[fam])
+		}
+	}
+	tbl, err := RobustnessTable(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Errorf("table rows = %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,193 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§6 plus the worked examples of §3–4): Table 1, Figure 3,
+// Figure 7, Figure 8, Figure 9 and Figure 10. Each experiment returns
+// structured rows and can render itself as a text table; cmd/experiments
+// drives them all and EXPERIMENTS.md records paper-vs-measured values.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// Running is the paper's running example: the Figure 1a graph, the Figure
+// 1b privilege ordering, and the four Figure 2 protection scenarios.
+//
+// The paper never lists Figure 1a's edge set; this reconstruction is fixed
+// so that every number stated in §4.1 comes out exactly: %P(b')=1/10,
+// %P(h')=3/10, PathUtility(G'_N)=.13, NodeUtility(G'_N)=6/11 and the
+// Figure 2 path utilities .38/.27/.13/.27.
+type Running struct {
+	Graph   *graph.Graph
+	Lattice *privilege.Lattice
+	// Viewer is the consumer predicate of the walkthrough: High-2.
+	Viewer privilege.Predicate
+	// FG is the sensitive edge f->g whose opacity Table 1 reports.
+	FG graph.EdgeID
+}
+
+// NewRunning builds the running-example fixture.
+func NewRunning() *Running {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a1", "a2", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		g.AddNodeID(id)
+	}
+	// A backbone chain a1 -> a2 -> b -> c -> d -> e -> f -> g -> h -> i -> j
+	// plus the direct c -> f edge whose markings Figure 2 varies. Under the
+	// directed to-or-from connectivity of §4.1 every node of G is connected
+	// to all 10 others, %P(b')=1/10 and %P(h')=3/10 in the naive account,
+	// and the four Figure 2 accounts measure .38/.27/.13/.27.
+	for _, e := range [][2]graph.NodeID{
+		{"a1", "a2"}, {"a2", "b"},
+		{"b", "c"},
+		{"c", "d"}, {"d", "e"}, {"e", "f"},
+		{"c", "f"},
+		{"f", "g"},
+		{"g", "h"}, {"h", "i"}, {"i", "j"},
+	} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return &Running{
+		Graph:   g,
+		Lattice: privilege.FigureOneLattice(),
+		Viewer:  "High-2",
+		FG:      graph.EdgeID{From: "f", To: "g"},
+	}
+}
+
+// sensitiveNodes are the Figure 1a nodes shaded above the High-2 viewer's
+// privileges: the sources a1, a2 and the middle layer d, e, f.
+var sensitiveNodes = []graph.NodeID{"a1", "a2", "d", "e", "f"}
+
+// Scenario identifies one of the Figure 2 protection strategies for the
+// sensitive node f (the other sensitive nodes are always hidden outright).
+type Scenario int
+
+const (
+	// Fig2a: surrogate node f' with visible edges.
+	Fig2a Scenario = iota
+	// Fig2b: f hidden, its incidences marked Surrogate: surrogate edge c-g.
+	Fig2b
+	// Fig2c: surrogate node f' with hidden edges: f' isolated.
+	Fig2c
+	// Fig2d: surrogate node f' and Surrogate-marked incidences: f'
+	// isolated plus surrogate edge c-g.
+	Fig2d
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case Fig2a:
+		return "2a"
+	case Fig2b:
+		return "2b"
+	case Fig2c:
+		return "2c"
+	case Fig2d:
+		return "2d"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// baseSpec labels the sensitive nodes High-1 (incomparable with the High-2
+// viewer) and hides the incident edges of every sensitive node except f,
+// whose treatment each scenario chooses.
+func (r *Running) baseSpec() (*account.Spec, error) {
+	lb := privilege.NewLabeling(r.Lattice)
+	pol := policy.New(r.Lattice)
+	for _, id := range sensitiveNodes {
+		if err := lb.SetNode(id, "High-1"); err != nil {
+			return nil, err
+		}
+		if id == "f" {
+			continue
+		}
+		if err := pol.SetNodeThreshold(id, "High-1", policy.Hide); err != nil {
+			return nil, err
+		}
+	}
+	return &account.Spec{
+		Graph:      r.Graph,
+		Labeling:   lb,
+		Policy:     pol,
+		Surrogates: surrogate.NewRegistry(lb),
+	}, nil
+}
+
+func (r *Running) addFPrime(spec *account.Spec) error {
+	return spec.Surrogates.Add("f", surrogate.Surrogate{
+		ID:        "f'",
+		Features:  graph.Features{"desc": "a trusted law enforcement source"},
+		Lowest:    "Low-2",
+		InfoScore: 0.5,
+	})
+}
+
+// Spec assembles the account.Spec for one Figure 2 scenario.
+func (r *Running) Spec(s Scenario) (*account.Spec, error) {
+	spec, err := r.baseSpec()
+	if err != nil {
+		return nil, err
+	}
+	switch s {
+	case Fig2a:
+		if err := r.addFPrime(spec); err != nil {
+			return nil, err
+		}
+		// f's incidences stay Visible: the edges attach to f'.
+	case Fig2b:
+		if err := spec.Policy.SetNodeThreshold("f", "High-1", policy.Surrogate); err != nil {
+			return nil, err
+		}
+	case Fig2c:
+		if err := r.addFPrime(spec); err != nil {
+			return nil, err
+		}
+		if err := spec.Policy.SetNodeThreshold("f", "High-1", policy.Hide); err != nil {
+			return nil, err
+		}
+	case Fig2d:
+		if err := r.addFPrime(spec); err != nil {
+			return nil, err
+		}
+		if err := spec.Policy.SetNodeThreshold("f", "High-1", policy.Surrogate); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("eval: unknown scenario %v", s)
+	}
+	return spec, nil
+}
+
+// Account generates the protected account for one scenario as seen by the
+// High-2 viewer.
+func (r *Running) Account(s Scenario) (*account.Spec, *account.Account, error) {
+	spec, err := r.Spec(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := account.Generate(spec, r.Viewer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, a, nil
+}
+
+// NaiveAccount generates G'_N, the Figure 1c all-or-nothing account.
+func (r *Running) NaiveAccount() (*account.Spec, *account.Account, error) {
+	spec, err := r.baseSpec()
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := account.GenerateHide(spec, r.Viewer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, a, nil
+}

@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScorecardAllClaimsPass(t *testing.T) {
+	claims, err := Scorecard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != 8 {
+		t.Fatalf("claims = %d, want 8", len(claims))
+	}
+	ids := map[string]bool{}
+	for _, c := range claims {
+		if ids[c.ID] {
+			t.Errorf("duplicate claim id %s", c.ID)
+		}
+		ids[c.ID] = true
+		if !c.Pass {
+			t.Errorf("claim %s FAILED: %s (%s)", c.ID, c.Text, c.Detail)
+		}
+		if c.Detail == "" {
+			t.Errorf("claim %s has no detail", c.ID)
+		}
+	}
+	tbl, err := ScorecardTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "PASS") {
+		t.Error("rendered scorecard missing verdicts")
+	}
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds a->b, a->c, b->d, c->d, a->d (a redundant shortcut).
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("a", "c")
+	g.MustAddEdge("b", "d")
+	g.MustAddEdge("c", "d")
+	g.MustAddEdge("a", "d")
+	return g
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := diamond(t)
+	if got := g.Ancestors("d"); len(got) != 3 {
+		t.Errorf("Ancestors(d) = %v", got)
+	}
+	if got := g.Descendants("a"); len(got) != 3 {
+		t.Errorf("Descendants(a) = %v", got)
+	}
+	if got := g.Ancestors("a"); len(got) != 0 {
+		t.Errorf("Ancestors(a) = %v", got)
+	}
+	if got := g.ConnectedPairs("b"); got != 2 {
+		t.Errorf("ConnectedPairs(b) = %d, want 2 (a and d)", got)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := diamond(t)
+	g.AddNode(Node{ID: "b", Features: Features{"k": "v"}})
+	g.MustAddEdge("b", "a") // make b's features and extra edge visible... (b->a creates a cycle; fine for Induced)
+	sub := g.Induced([]NodeID{"a", "b", "d", "zzz"})
+	if sub.NumNodes() != 3 {
+		t.Errorf("induced nodes = %v", sub.Nodes())
+	}
+	if !sub.HasEdge("a", "b") || !sub.HasEdge("b", "d") || !sub.HasEdge("a", "d") || !sub.HasEdge("b", "a") {
+		t.Errorf("induced edges = %v", sub.Edges())
+	}
+	if sub.HasEdge("a", "c") || sub.HasEdge("c", "d") {
+		t.Error("induced subgraph leaked edges through excluded node")
+	}
+	n, _ := sub.NodeByID("b")
+	if n.Features["k"] != "v" {
+		t.Error("induced subgraph lost features")
+	}
+}
+
+func TestRedundantEdgesAndReduction(t *testing.T) {
+	g := diamond(t)
+	red := g.RedundantEdges()
+	if len(red) != 1 || red[0] != (EdgeID{From: "a", To: "d"}) {
+		t.Errorf("RedundantEdges = %v, want [a->d]", red)
+	}
+	tr := g.TransitiveReduction()
+	if tr.HasEdge("a", "d") {
+		t.Error("reduction kept the shortcut")
+	}
+	if tr.NumEdges() != 4 {
+		t.Errorf("reduction edges = %d, want 4", tr.NumEdges())
+	}
+	// Reachability is preserved.
+	for _, u := range g.Nodes() {
+		for _, v := range g.Nodes() {
+			if g.HasPath(u, v) != tr.HasPath(u, v) {
+				t.Errorf("reduction changed reachability %s->%s", u, v)
+			}
+		}
+	}
+	// The original graph is untouched.
+	if !g.HasEdge("a", "d") {
+		t.Error("TransitiveReduction mutated the receiver")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := diamond(t)
+	tc := g.TransitiveClosure()
+	if !tc["a"]["d"] || !tc["b"]["d"] {
+		t.Error("closure missing reachable pairs")
+	}
+	if tc["d"]["a"] {
+		t.Error("closure contains impossible pair")
+	}
+}
+
+func TestSimplePaths(t *testing.T) {
+	g := diamond(t)
+	paths := g.SimplePaths("a", "d", 0, 0)
+	if len(paths) != 3 { // a-d, a-b-d, a-c-d
+		t.Fatalf("paths = %v", paths)
+	}
+	// Lexicographic successor order: a->b->d, a->c->d, a->d.
+	if len(paths[0]) != 3 || paths[0][1] != "b" {
+		t.Errorf("first path = %v", paths[0])
+	}
+	// Limit and maxLen.
+	if got := g.SimplePaths("a", "d", 2, 0); len(got) != 2 {
+		t.Errorf("limit ignored: %d paths", len(got))
+	}
+	if got := g.SimplePaths("a", "d", 0, 1); len(got) != 1 {
+		t.Errorf("maxLen=1 should yield only the direct edge: %v", got)
+	}
+	if got := g.SimplePaths("d", "a", 0, 0); got != nil {
+		t.Errorf("no paths expected: %v", got)
+	}
+	if got := g.SimplePaths("a", "a", 0, 0); got != nil {
+		t.Errorf("src==dst should be nil: %v", got)
+	}
+}
+
+func TestSimplePathsWithCycle(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{"a", "b", "c"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "a")
+	g.MustAddEdge("b", "c")
+	paths := g.SimplePaths("a", "c", 0, 0)
+	if len(paths) != 1 {
+		t.Errorf("paths = %v (cycle should not repeat nodes)", paths)
+	}
+}
+
+func TestLongestPathDAG(t *testing.T) {
+	g := diamond(t)
+	length, path, ok := g.LongestPathDAG()
+	if !ok || length != 2 {
+		t.Fatalf("longest = %d ok=%v", length, ok)
+	}
+	if len(path) != 3 || path[0] != "a" || path[2] != "d" {
+		t.Errorf("path = %v", path)
+	}
+	g.MustAddEdge("d", "a") // cycle
+	if _, _, ok := g.LongestPathDAG(); ok {
+		t.Error("cyclic graph should report !ok")
+	}
+	empty := New()
+	if l, _, ok := empty.LongestPathDAG(); !ok || l != 0 {
+		t.Errorf("empty graph: %d %v", l, ok)
+	}
+}
+
+// Property: transitive reduction of random DAGs preserves reachability and
+// removes every redundant edge.
+func TestTransitiveReductionProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		g := New()
+		ids := make([]NodeID, n)
+		for i := range ids {
+			ids[i] = NodeID(string(rune('a' + i)))
+			g.AddNodeID(ids[i])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.4 {
+					g.MustAddEdge(ids[i], ids[j])
+				}
+			}
+		}
+		tr := g.TransitiveReduction()
+		for _, u := range ids {
+			for _, v := range ids {
+				if g.HasPath(u, v) != tr.HasPath(u, v) {
+					return false
+				}
+			}
+		}
+		return len(tr.RedundantEdges()) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) < eps }
+
+// chainSpec builds a -> b -> c -> d -> e over the two-level lattice with
+// the given protected edges.
+func chainSpec(t *testing.T, surrogateMode bool, protected ...graph.EdgeID) (*account.Spec, *account.Account) {
+	t.Helper()
+	g := graph.New()
+	ids := []graph.NodeID{"a", "b", "c", "d", "e"}
+	for _, id := range ids {
+		g.AddNodeID(id)
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		g.MustAddEdge(ids[i], ids[i+1])
+	}
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	for _, e := range protected {
+		if err := pol.ProtectEdge(e, "Protected", surrogateMode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := &account.Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: surrogate.NewRegistry(lb)}
+	a, err := account.Generate(spec, privilege.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, a
+}
+
+func TestPathUtilityIdentityAccount(t *testing.T) {
+	spec, a := chainSpec(t, true) // nothing protected
+	if got := PathUtility(spec, a); !approx(got, 1) {
+		t.Errorf("PathUtility(identity) = %v, want 1", got)
+	}
+	if got := NodeUtility(spec, a); !approx(got, 1) {
+		t.Errorf("NodeUtility(identity) = %v, want 1", got)
+	}
+}
+
+// Hiding a->b disconnects a: %P(a)=0/4, others 3/4 -> PU = (0+4*0.75)/5.
+func TestPathUtilityHideChainEdge(t *testing.T) {
+	spec, a := chainSpec(t, false, graph.EdgeID{From: "a", To: "b"})
+	if got, want := PathUtility(spec, a), 0.6; !approx(got, want) {
+		t.Errorf("PathUtility = %v, want %v", got, want)
+	}
+	// Nodes are all present, so node utility stays 1.
+	if got := NodeUtility(spec, a); !approx(got, 1) {
+		t.Errorf("NodeUtility = %v, want 1", got)
+	}
+}
+
+// Surrogating a->b interposes a->c: a regains its three descendants, b
+// keeps its three connected pairs, and c, d, e regain a as an ancestor:
+// PU = (3/4 + 3/4 + 1 + 1 + 1)/5 = 0.9.
+func TestPathUtilitySurrogateChainEdge(t *testing.T) {
+	spec, a := chainSpec(t, true, graph.EdgeID{From: "a", To: "b"})
+	if !a.Graph.HasEdge("a", "c") {
+		t.Fatalf("expected surrogate edge a->c, got %v", a.Graph.Edges())
+	}
+	if got := PathUtility(spec, a); !approx(got, 0.9) {
+		t.Errorf("PathUtility = %v, want 0.9", got)
+	}
+}
+
+// A hidden node with no surrogate contributes 0 to path utility; the
+// all-or-nothing node utility is |N'|/|N|.
+func TestUtilityHiddenNode(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "x", "b"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "x")
+	g.MustAddEdge("x", "b")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	if err := lb.SetNode("x", "Protected"); err != nil {
+		t.Fatal(err)
+	}
+	spec := &account.Spec{Graph: g, Labeling: lb, Policy: policy.New(lat), Surrogates: surrogate.NewRegistry(lb)}
+	a, err := account.GenerateHide(spec, privilege.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b present but disconnected: %P = 0/2 each; x contributes 0.
+	if got := PathUtility(spec, a); !approx(got, 0) {
+		t.Errorf("PathUtility = %v, want 0", got)
+	}
+	if got, want := NodeUtility(spec, a), 2.0/3.0; !approx(got, want) {
+		t.Errorf("NodeUtility = %v, want %v", got, want)
+	}
+	if got := PathPercentage(spec, a, "x"); !approx(got, 0) {
+		t.Errorf("PathPercentage(x) = %v, want 0", got)
+	}
+	if got := PathPercentage(spec, a, "a"); !approx(got, 0) {
+		t.Errorf("PathPercentage(a) = %v, want 0", got)
+	}
+}
+
+// Surrogate node infoScores feed node utility.
+func TestNodeUtilityWithSurrogates(t *testing.T) {
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "x", "b"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "x")
+	g.MustAddEdge("x", "b")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	if err := lb.SetNode("x", "Protected"); err != nil {
+		t.Fatal(err)
+	}
+	reg := surrogate.NewRegistry(lb)
+	if err := reg.Add("x", surrogate.Surrogate{ID: "x'", Lowest: privilege.Public, InfoScore: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	spec := &account.Spec{Graph: g, Labeling: lb, Policy: policy.New(lat), Surrogates: reg}
+	a, err := account.Generate(spec, privilege.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := NodeUtility(spec, a), (1+1+0.4)/3; !approx(got, want) {
+		t.Errorf("NodeUtility = %v, want %v", got, want)
+	}
+	// x' keeps the chain connected, so path utility is 1.
+	if got := PathUtility(spec, a); !approx(got, 1) {
+		t.Errorf("PathUtility = %v, want 1", got)
+	}
+	u := Utilities(spec, a)
+	if !approx(u.Path, 1) || !approx(u.Node, (2.4)/3) {
+		t.Errorf("Utilities = %+v", u)
+	}
+	if u.String() == "" {
+		t.Error("empty Utility string")
+	}
+}
+
+func TestIsolatedOriginalPathPercentage(t *testing.T) {
+	g := graph.New()
+	g.AddNodeID("solo")
+	g.AddNodeID("other")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	spec := &account.Spec{Graph: g, Labeling: lb, Policy: policy.New(lat), Surrogates: surrogate.NewRegistry(lb)}
+	a, err := account.Generate(spec, privilege.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PathPercentage(spec, a, "solo"); !approx(got, 1) {
+		t.Errorf("isolated present node %%P = %v, want 1", got)
+	}
+}
+
+func TestEdgeOpacityFixedPoints(t *testing.T) {
+	adv := Figure5()
+	// Edge present in account -> opacity 0.
+	spec, a := chainSpec(t, true)
+	if got := EdgeOpacity(spec, a, graph.EdgeID{From: "a", To: "b"}, adv); !approx(got, 0) {
+		t.Errorf("present edge opacity = %v, want 0", got)
+	}
+
+	// Endpoint absent -> opacity 1.
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "x"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "x")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	if err := lb.SetNode("x", "Protected"); err != nil {
+		t.Fatal(err)
+	}
+	spec2 := &account.Spec{Graph: g, Labeling: lb, Policy: policy.New(lat), Surrogates: surrogate.NewRegistry(lb)}
+	a2, err := account.GenerateHide(spec2, privilege.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EdgeOpacity(spec2, a2, graph.EdgeID{From: "a", To: "x"}, adv); !approx(got, 1) {
+		t.Errorf("absent endpoint opacity = %v, want 1", got)
+	}
+}
+
+// Opacity of the hidden chain edge: hiding leaves a as a suspicious loner
+// (low opacity); surrogating keeps a connected (higher opacity).
+func TestOpacitySurrogateBeatsHide(t *testing.T) {
+	adv := Figure5()
+	e := graph.EdgeID{From: "a", To: "b"}
+	specH, aH := chainSpec(t, false, e)
+	specS, aS := chainSpec(t, true, e)
+	oh := EdgeOpacity(specH, aH, e, adv)
+	os := EdgeOpacity(specS, aS, e, adv)
+	if oh <= 0 || oh >= 1 || os <= 0 || os >= 1 {
+		t.Fatalf("opacities out of open interval: hide=%v surrogate=%v", oh, os)
+	}
+	if os <= oh {
+		t.Errorf("surrogate opacity %v should exceed hide opacity %v", os, oh)
+	}
+	// Hand-computed values for the Figure 5 constants (see DESIGN.md):
+	// hide: degrees a:0 b:1 c:2 d:2 e:1, a is a loner.
+	// R = ½(0.8·0.8/2.0 + 0.2·0.8/2.0) = 0.2 -> opacity 0.8.
+	if !approx(oh, 0.8) {
+		t.Errorf("hide opacity = %v, want 0.8", oh)
+	}
+	// surrogate: degrees a:1 b:1 c:3 d:2 e:1, all connected.
+	// R = ½(0.2·0.8/2.0 + 0.2·0.8/2.0) = 0.08 -> opacity 0.92.
+	if !approx(os, 0.92) {
+		t.Errorf("surrogate opacity = %v, want 0.92", os)
+	}
+}
+
+func TestAverageAndGraphOpacity(t *testing.T) {
+	adv := Figure5()
+	e := graph.EdgeID{From: "a", To: "b"}
+	spec, a := chainSpec(t, false, e)
+	if got := AverageOpacity(spec, a, nil, adv); got != 0 {
+		t.Errorf("empty AverageOpacity = %v, want 0", got)
+	}
+	avg := AverageOpacity(spec, a, []graph.EdgeID{e}, adv)
+	if !approx(avg, 0.8) {
+		t.Errorf("AverageOpacity = %v, want 0.8", avg)
+	}
+	// Graph opacity: protected edge 0.8, three shown edges 0.
+	if got, want := GraphOpacity(spec, a, adv), 0.8/4; !approx(got, want) {
+		t.Errorf("GraphOpacity = %v, want %v", got, want)
+	}
+}
+
+func TestAdversaryModels(t *testing.T) {
+	adv := Figure5()
+	if adv.FocusProbability(0) != 0.8 || adv.FocusProbability(1) != 0.8 || adv.FocusProbability(2) != 0.2 {
+		t.Error("Figure5 FP thresholds wrong")
+	}
+	if adv.InferenceLikelihood(0) != 0.8 || adv.InferenceLikelihood(1) != 0.8 || adv.InferenceLikelihood(2) != 0.2 {
+		t.Error("Figure5 IE thresholds wrong")
+	}
+	var n Naive
+	if n.FocusProbability(0) != n.FocusProbability(100) {
+		t.Error("naive FP should be uniform")
+	}
+	if n.InferenceLikelihood(0) != n.InferenceLikelihood(100) {
+		t.Error("naive IE should be uniform")
+	}
+}
+
+// Opacity is always within [0,1] for arbitrary accounts.
+func TestOpacityBounds(t *testing.T) {
+	adv := Figure5()
+	for _, mode := range []bool{true, false} {
+		for _, edges := range [][]graph.EdgeID{
+			{{From: "a", To: "b"}},
+			{{From: "b", To: "c"}, {From: "c", To: "d"}},
+			{{From: "a", To: "b"}, {From: "d", To: "e"}},
+		} {
+			spec, a := chainSpec(t, mode, edges...)
+			for _, e := range spec.Graph.Edges() {
+				op := EdgeOpacity(spec, a, e.ID(), adv)
+				if op < 0 || op > 1 {
+					t.Errorf("opacity(%v) = %v out of bounds (mode=%v)", e.ID(), op, mode)
+				}
+			}
+		}
+	}
+}

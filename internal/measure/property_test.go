@@ -1,0 +1,151 @@
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// randomMeasureSpec builds a random DAG with random protections, mirroring
+// the account package's generator but local to these tests.
+func randomMeasureSpec(r *rand.Rand) *account.Spec {
+	n := 4 + r.Intn(8)
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(fmt.Sprintf("m%02d", i))
+		g.AddNodeID(ids[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.35 {
+				g.MustAddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	reg := surrogate.NewRegistry(lb)
+	for _, id := range ids {
+		if r.Float64() < 0.3 {
+			if err := lb.SetNode(id, "Protected"); err != nil {
+				panic(err)
+			}
+			if r.Intn(2) == 0 {
+				if err := pol.SetNodeThreshold(id, "Protected", policy.Surrogate); err != nil {
+					panic(err)
+				}
+			}
+			if r.Intn(2) == 0 {
+				if err := reg.Add(id, surrogate.Surrogate{
+					ID: id + "'", Lowest: privilege.Public, InfoScore: float64(r.Intn(11)) / 10,
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if r.Float64() < 0.25 {
+			if err := pol.ProtectEdge(e.ID(), "Protected", r.Intn(2) == 0); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return &account.Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: reg}
+}
+
+// Property: utilities are in [0,1]; the full-privilege account scores
+// exactly 1 on both; the surrogate account's path utility is never below
+// the hide account's.
+func TestUtilityInvariantsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomMeasureSpec(r)
+		full, err := account.Generate(spec, "Protected")
+		if err != nil {
+			return false
+		}
+		if u := Utilities(spec, full); u.Path != 1 || u.Node != 1 {
+			t.Logf("seed %d: full-privilege utilities %v", seed, u)
+			return false
+		}
+		hide, err := account.GenerateHide(spec, privilege.Public)
+		if err != nil {
+			return false
+		}
+		surr, err := account.Generate(spec, privilege.Public)
+		if err != nil {
+			return false
+		}
+		uh, us := Utilities(spec, hide), Utilities(spec, surr)
+		for _, u := range []Utility{uh, us} {
+			if u.Path < 0 || u.Path > 1+1e-12 || u.Node < 0 || u.Node > 1+1e-12 {
+				t.Logf("seed %d: utilities out of range %v", seed, u)
+				return false
+			}
+		}
+		if us.Path < uh.Path-1e-12 {
+			t.Logf("seed %d: surrogate path utility %v below hide %v", seed, us.Path, uh.Path)
+			return false
+		}
+		if us.Node < uh.Node-1e-12 {
+			t.Logf("seed %d: surrogate node utility %v below hide %v", seed, us.Node, uh.Node)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: opacity respects its fixed points and bounds for every edge of
+// every random account, under both formula readings and both adversaries.
+func TestOpacityInvariantsProperty(t *testing.T) {
+	advs := []Adversary{Figure5(), Naive{}}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomMeasureSpec(r)
+		a, err := account.Generate(spec, privilege.Public)
+		if err != nil {
+			return false
+		}
+		for _, e := range spec.Graph.Edges() {
+			id := e.ID()
+			n1, ok1 := a.Corresponding(id.From)
+			n2, ok2 := a.Corresponding(id.To)
+			for _, adv := range advs {
+				for _, op := range []float64{
+					EdgeOpacity(spec, a, id, adv),
+					EdgeOpacityScaleFree(spec, a, id, adv),
+				} {
+					if op < 0 || op > 1 {
+						t.Logf("seed %d: opacity %v out of range for %s", seed, op, id)
+						return false
+					}
+					if (!ok1 || !ok2) && op != 1 {
+						t.Logf("seed %d: absent endpoint but opacity %v for %s", seed, op, id)
+						return false
+					}
+					if ok1 && ok2 && a.Graph.HasEdge(n1, n2) && op != 0 {
+						t.Logf("seed %d: shown edge but opacity %v for %s", seed, op, id)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

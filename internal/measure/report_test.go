@@ -1,0 +1,102 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// reportFixture: a -> x -> b with x surrogated.
+func reportFixture(t *testing.T) (*account.Spec, *account.Account) {
+	t.Helper()
+	g := graph.New()
+	for _, id := range []graph.NodeID{"a", "x", "b"} {
+		g.AddNodeID(id)
+	}
+	g.MustAddEdge("a", "x")
+	g.MustAddEdge("x", "b")
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	if err := lb.SetNode("x", "Protected"); err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.New(lat)
+	if err := pol.SetNodeThreshold("x", "Protected", policy.Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	reg := surrogate.NewRegistry(lb)
+	if err := reg.Add("x", surrogate.Surrogate{ID: "x'", Lowest: privilege.Public, InfoScore: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	spec := &account.Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: reg}
+	a, err := account.Generate(spec, privilege.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, a
+}
+
+func TestNodeReports(t *testing.T) {
+	spec, a := reportFixture(t)
+	rows := NodeReports(spec, a)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byID := map[graph.NodeID]NodeReport{}
+	for _, r := range rows {
+		byID[r.Original] = r
+	}
+	if !byID["a"].Present || byID["a"].SurrogateUsed {
+		t.Errorf("a report wrong: %+v", byID["a"])
+	}
+	x := byID["x"]
+	if !x.Present || !x.SurrogateUsed || x.Corresponding != "x'" || x.InfoScore != 0.3 {
+		t.Errorf("x report wrong: %+v", x)
+	}
+	// x' is isolated (role surrogated): no connectivity retained.
+	if x.ConnectedOut != 0 || x.PathPercentage != 0 {
+		t.Errorf("x connectivity wrong: %+v", x)
+	}
+	// a keeps its connection to b through the surrogate edge.
+	if byID["a"].PathPercentage != 0.5 {
+		t.Errorf("a %%P = %v, want 0.5 (b retained, x lost)", byID["a"].PathPercentage)
+	}
+}
+
+func TestEdgeReports(t *testing.T) {
+	spec, a := reportFixture(t)
+	rows := EdgeReports(spec, a, Figure5())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ShownInAccount {
+			t.Errorf("%v should not be shown (x's role is hidden)", r.Edge)
+		}
+		if r.EndpointMissing {
+			t.Errorf("%v endpoints exist (x has a surrogate)", r.Edge)
+		}
+		if r.Opacity <= 0 || r.Opacity > 1 || r.OpacityScaleFree <= 0 || r.OpacityScaleFree > 1 {
+			t.Errorf("%v opacity out of range: %+v", r.Edge, r)
+		}
+	}
+}
+
+func TestFullReportRendering(t *testing.T) {
+	spec, a := reportFixture(t)
+	rep := NewReport(spec, a, Figure5())
+	if rep.Utility.Node <= 0 || rep.GraphOpacity <= 0 {
+		t.Errorf("summary wrong: %+v", rep.Utility)
+	}
+	s := rep.String()
+	for _, want := range []string{"surrogate x'", "shown", "opacity="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

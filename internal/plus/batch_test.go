@@ -1,0 +1,100 @@
+package plus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyBatch(t *testing.T) {
+	s, path := openTemp(t)
+	b := Batch{
+		Objects: []Object{
+			{ID: "a", Kind: Data, Name: "a"},
+			{ID: "p", Kind: Invocation, Name: "p", Lowest: "Protected", Protect: "surrogate"},
+			{ID: "b", Kind: Data, Name: "b"},
+		},
+		Edges: []Edge{
+			{From: "a", To: "p"},
+			{From: "p", To: "b"},
+		},
+		Surrogates: []SurrogateSpec{
+			{ForID: "p", ID: "p~", Name: "a step", InfoScore: 0.5},
+		},
+	}
+	if b.Len() != 6 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumObjects() != 3 || s.NumEdges() != 2 || len(s.SurrogatesOf("p")) != 1 {
+		t.Errorf("state after batch: %d/%d", s.NumObjects(), s.NumEdges())
+	}
+	// Batched records replay like individual ones.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumObjects() != 3 || s2.NumEdges() != 2 {
+		t.Errorf("replay after batch: %d/%d", s2.NumObjects(), s2.NumEdges())
+	}
+}
+
+func TestApplyBatchValidationLeavesStoreUntouched(t *testing.T) {
+	s, _ := openTemp(t)
+	putChain(t, s, "x", "y")
+	sizeBefore := s.Size()
+
+	bad := []Batch{
+		{Objects: []Object{{ID: "", Kind: Data}}},
+		{Objects: []Object{{ID: "q", Kind: "banana"}}},
+		{Objects: []Object{{ID: "q", Kind: Data, Protect: "banana"}}},
+		{Edges: []Edge{{From: "x", To: "x"}}},
+		{Edges: []Edge{{From: "x", To: "missing"}}},
+		{Edges: []Edge{{From: "x", To: "y"}}}, // already stored
+		{Objects: []Object{{ID: "q", Kind: Data}}, Edges: []Edge{{From: "x", To: "q"}, {From: "x", To: "q"}}},
+		{Surrogates: []SurrogateSpec{{ForID: "missing", ID: "m~"}}},
+		{Surrogates: []SurrogateSpec{{ForID: "x", ID: "x"}}},
+		{Surrogates: []SurrogateSpec{{ForID: "x", ID: "x~", InfoScore: 5}}},
+	}
+	for i, b := range bad {
+		if err := s.Apply(b); err == nil {
+			t.Errorf("bad batch %d accepted", i)
+		}
+	}
+	if s.Size() != sizeBefore || s.NumObjects() != 2 || s.NumEdges() != 1 {
+		t.Error("failed batches mutated the store")
+	}
+}
+
+func TestApplyBatchIntraBatchReferences(t *testing.T) {
+	s, _ := openTemp(t)
+	// The edge references an object defined in the same batch.
+	b := Batch{
+		Objects: []Object{{ID: "n1", Kind: Data, Name: "1"}, {ID: "n2", Kind: Data, Name: "2"}},
+		Edges:   []Edge{{From: "n1", To: "n2"}},
+	}
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != 1 {
+		t.Error("intra-batch edge lost")
+	}
+}
+
+func TestApplyEmptyBatchAndClosed(t *testing.T) {
+	s, _ := openTemp(t)
+	if err := s.Apply(Batch{}); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Batch{Objects: []Object{{ID: "a", Kind: Data}}}); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("apply on closed store: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package plus
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/privilege"
+)
+
+// CachedEngine wraps an Engine with per-query memoisation of protected
+// lineage answers, invalidated automatically when the store changes.
+//
+// This realises the §7 advantage the paper claims over view-based
+// protection ("view recomputation when object sensitivity changes" versus
+// having "the appropriate views constructed automatically"): accounts are
+// derived on demand and cached, and any store mutation — including new
+// surrogates or re-stored objects with different sensitivity — simply
+// bumps the store revision and lets stale accounts fall out.
+type CachedEngine struct {
+	*Engine
+
+	mu      sync.Mutex
+	rev     uint64
+	entries map[cacheKey]*Result
+	hits    uint64
+	misses  uint64
+}
+
+type cacheKey struct {
+	start     string
+	direction graph.Direction
+	depth     int
+	viewer    privilege.Predicate
+	mode      Mode
+	label     string
+	kind      ObjectKind
+}
+
+// NewCachedEngine wraps the engine with an invalidating cache.
+func NewCachedEngine(engine *Engine) *CachedEngine {
+	return &CachedEngine{Engine: engine, entries: map[cacheKey]*Result{}}
+}
+
+// Lineage answers like Engine.Lineage but serves repeated queries from the
+// cache while the store is unchanged. Cached results share the account —
+// callers must treat answers as read-only (which they are over HTTP, where
+// each answer is serialised).
+func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
+	if req.Viewer == "" {
+		req.Viewer = privilege.Public
+	}
+	if req.Mode == "" {
+		req.Mode = ModeSurrogate
+	}
+	key := cacheKey{
+		start:     req.Start,
+		direction: req.Direction,
+		depth:     req.Depth,
+		viewer:    req.Viewer,
+		mode:      req.Mode,
+		label:     req.LabelFilter,
+		kind:      req.KindFilter,
+	}
+	rev := ce.store.Revision()
+
+	ce.mu.Lock()
+	if rev != ce.rev {
+		// The store changed: every cached account may be stale.
+		ce.entries = map[cacheKey]*Result{}
+		ce.rev = rev
+	}
+	if res, ok := ce.entries[key]; ok {
+		ce.hits++
+		ce.mu.Unlock()
+		return res, nil
+	}
+	ce.misses++
+	ce.mu.Unlock()
+
+	res, err := ce.Engine.Lineage(req)
+	if err != nil {
+		return nil, err
+	}
+
+	ce.mu.Lock()
+	// Only cache when the store has not moved under the computation.
+	if ce.store.Revision() == ce.rev {
+		ce.entries[key] = res
+	}
+	ce.mu.Unlock()
+	return res, nil
+}
+
+// CacheStats reports hit/miss counters and the live entry count.
+func (ce *CachedEngine) CacheStats() (hits, misses uint64, entries int) {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	return ce.hits, ce.misses, len(ce.entries)
+}
+
+// String summarises the cache state for logs.
+func (ce *CachedEngine) String() string {
+	h, m, n := ce.CacheStats()
+	return fmt.Sprintf("plus cache: %d entries, %d hits, %d misses", n, h, m)
+}

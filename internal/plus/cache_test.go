@@ -1,0 +1,129 @@
+package plus
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/privilege"
+)
+
+func TestCachedEngineHitsAndInvalidation(t *testing.T) {
+	en := lineageFixture(t)
+	ce := NewCachedEngine(en)
+	req := Request{Start: "report", Direction: graph.Backward, Viewer: privilege.Public}
+
+	r1, err := ce.Lineage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ce.Lineage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("second identical query should be served from cache")
+	}
+	hits, misses, entries := ce.CacheStats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1/1/1", hits, misses, entries)
+	}
+
+	// Different viewer is a different entry.
+	if _, err := ce.Lineage(Request{Start: "report", Direction: graph.Backward, Viewer: "Protected"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries := ce.CacheStats(); entries != 2 {
+		t.Errorf("entries = %d, want 2", entries)
+	}
+
+	// A store mutation invalidates everything.
+	if err := en.store.PutObject(Object{ID: "new", Kind: Data, Name: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := ce.Lineage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("stale account served after store mutation")
+	}
+	if _, _, entries := ce.CacheStats(); entries != 1 {
+		t.Errorf("entries after invalidation = %d, want 1", entries)
+	}
+}
+
+func TestCachedEngineSensitivityChange(t *testing.T) {
+	s, _ := openTemp(t)
+	for _, o := range []Object{
+		{ID: "a", Kind: Data, Name: "a"},
+		{ID: "x", Kind: Data, Name: "x"},
+		{ID: "b", Kind: Data, Name: "b"},
+	} {
+		if err := s.PutObject(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []Edge{{From: "a", To: "x"}, {From: "x", To: "b"}} {
+		if err := s.PutEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ce := NewCachedEngine(NewEngine(s, privilege.TwoLevel()))
+	req := Request{Start: "b", Direction: graph.Backward, Viewer: privilege.Public}
+
+	r1, err := ce.Lineage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Account.Graph.HasNode("x") {
+		t.Fatal("x should be public initially")
+	}
+
+	// The provider reclassifies x: replace-on-put with a higher lowest.
+	// The §7 claim: no manual view maintenance — the next query just sees
+	// the new sensitivity.
+	if err := s.PutObject(Object{ID: "x", Kind: Data, Name: "x", Lowest: "Protected"}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ce.Lineage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Account.Graph.HasNode("x") {
+		t.Error("reclassified node still visible; stale cache?")
+	}
+	if !r2.Account.Graph.HasEdge("a", "b") {
+		t.Errorf("connectivity not summarised after reclassification: %v", r2.Account.Graph.Edges())
+	}
+}
+
+func TestCachedEngineConcurrent(t *testing.T) {
+	en := lineageFixture(t)
+	ce := NewCachedEngine(en)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				viewer := privilege.Public
+				if (i+j)%2 == 0 {
+					viewer = "Protected"
+				}
+				if _, err := ce.Lineage(Request{Start: "report", Direction: graph.Backward, Viewer: viewer}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	hits, misses, _ := ce.CacheStats()
+	if hits+misses != 160 {
+		t.Errorf("hits+misses = %d, want 160", hits+misses)
+	}
+	if ce.String() == "" {
+		t.Error("empty cache string")
+	}
+}

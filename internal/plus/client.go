@@ -1,0 +1,149 @@
+package plus
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Client is a thin HTTP client for a PLUS server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a server base URL such as "http://localhost:7337".
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{}}
+}
+
+func (c *Client) post(path string, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("plus client: encode: %w", err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("plus client: %w", err)
+	}
+	defer resp.Body.Close()
+	return checkStatus(resp)
+}
+
+func (c *Client) get(path string, out interface{}) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("plus client: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("plus client: decode: %w", err)
+	}
+	return nil
+}
+
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var er errorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return fmt.Errorf("plus client: %s: %s", resp.Status, er.Error)
+	}
+	return fmt.Errorf("plus client: %s", resp.Status)
+}
+
+// PutObject stores an object.
+func (c *Client) PutObject(o Object) error { return c.post("/v1/objects", o) }
+
+// PutEdge stores an edge.
+func (c *Client) PutEdge(e Edge) error { return c.post("/v1/edges", e) }
+
+// PutSurrogate stores a surrogate spec.
+func (c *Client) PutSurrogate(sp SurrogateSpec) error { return c.post("/v1/surrogates", sp) }
+
+// GetObject fetches one object.
+func (c *Client) GetObject(id string) (Object, error) {
+	var o Object
+	err := c.get("/v1/objects/"+url.PathEscape(id), &o)
+	return o, err
+}
+
+// LineageQuery mirrors the server's query parameters.
+type LineageQuery struct {
+	Start     string
+	Direction string // ancestors | descendants | both
+	Depth     int
+	Viewer    string
+	Mode      string // hide | surrogate
+	Label     string // restrict traversal to this edge label
+	Kind      string // restrict traversal to data | invocation
+}
+
+// Lineage runs a lineage query.
+func (c *Client) Lineage(q LineageQuery) (*LineageResponse, error) {
+	params := url.Values{}
+	params.Set("start", q.Start)
+	if q.Direction != "" {
+		params.Set("direction", q.Direction)
+	}
+	if q.Depth > 0 {
+		params.Set("depth", strconv.Itoa(q.Depth))
+	}
+	if q.Viewer != "" {
+		params.Set("viewer", q.Viewer)
+	}
+	if q.Mode != "" {
+		params.Set("mode", q.Mode)
+	}
+	if q.Label != "" {
+		params.Set("label", q.Label)
+	}
+	if q.Kind != "" {
+		params.Set("kind", q.Kind)
+	}
+	var resp LineageResponse
+	if err := c.get("/v1/lineage?"+params.Encode(), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches store statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var s StatsResponse
+	err := c.get("/v1/stats", &s)
+	return s, err
+}
+
+// ExportOPM streams the server's OPM document to w.
+func (c *Client) ExportOPM(w io.Writer) error {
+	resp, err := c.http.Get(c.base + "/v1/opm")
+	if err != nil {
+		return fmt.Errorf("plus client: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// ImportOPM uploads an OPM document from r.
+func (c *Client) ImportOPM(r io.Reader) error {
+	resp, err := c.http.Post(c.base+"/v1/opm", "application/json", r)
+	if err != nil {
+		return fmt.Errorf("plus client: %w", err)
+	}
+	defer resp.Body.Close()
+	return checkStatus(resp)
+}

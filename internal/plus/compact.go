@@ -1,0 +1,126 @@
+package plus
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// Compact rewrites the log so it contains exactly one record per live
+// object (objects are replace-on-put, so a busy store accumulates
+// superseded versions) plus every edge and surrogate, then atomically
+// swaps it in. The store stays usable afterwards; readers and writers are
+// blocked for the duration.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("plus: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+
+	var written int64
+	writeRec := func(kind byte, v interface{}) error {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		payload := append([]byte{kind}, body...)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			return err
+		}
+		written += int64(8 + len(payload))
+		return nil
+	}
+
+	ids := make([]string, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := writeRec(recObject, s.objects[id]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("plus: compact: %w", err)
+		}
+	}
+	for _, id := range ids {
+		for _, e := range s.out[id] {
+			if err := writeRec(recEdge, e); err != nil {
+				tmp.Close()
+				return fmt.Errorf("plus: compact: %w", err)
+			}
+		}
+		for _, sp := range s.surrogates[id] {
+			if err := writeRec(recSurrogate, sp); err != nil {
+				tmp.Close()
+				return fmt.Errorf("plus: compact: %w", err)
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("plus: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("plus: compact close: %w", err)
+	}
+
+	// Swap the compacted log in and repoint the store's handle.
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("plus: compact: close old log: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("plus: compact rename: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("plus: compact reopen: %w", err)
+	}
+	if _, err := f.Seek(written, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("plus: compact seek: %w", err)
+	}
+	s.f = f
+	s.size = written
+	// The compacted log holds only live state; drop the in-memory history
+	// so it matches what a reopen would reconstruct.
+	s.history = map[string][]Object{}
+	return nil
+}
+
+// EdgesFrom returns the outgoing edges of an object, in insertion order.
+func (s *Store) EdgesFrom(id string) []Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Edge(nil), s.out[id]...)
+}
+
+// EdgesTo returns the incoming edges of an object, in insertion order.
+func (s *Store) EdgesTo(id string) []Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Edge(nil), s.in[id]...)
+}
+
+// SurrogatesOf returns the stored surrogate specs for an object.
+func (s *Store) SurrogatesOf(id string) []SurrogateSpec {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]SurrogateSpec(nil), s.surrogates[id]...)
+}

@@ -1,0 +1,163 @@
+package plus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file implements import/export in an Open Provenance Model flavoured
+// JSON form. The paper grounds its provenance terminology in OPM (footnote
+// 1 cites the OPM core specification); PLUS deployments exchanged lineage
+// with other systems in OPM terms: artifacts, processes, and the "used" /
+// "wasGeneratedBy" dependencies between them. The mapping onto the store
+// is direct: artifacts are Data objects, processes are Invocations,
+// used(P, A) is an edge A -> P and wasGeneratedBy(A, P) is an edge P -> A
+// (store edges point along dataflow).
+//
+// Sensitivity annotations (lowest / protect) travel in an "x-plus"
+// extension block per entity, so a round trip through OPM preserves the
+// release policy; foreign documents without the block import as public.
+
+// OPMDocument is the interchange shape.
+type OPMDocument struct {
+	Artifacts      []OPMArtifact   `json:"artifacts"`
+	Processes      []OPMProcess    `json:"processes"`
+	Used           []OPMDependency `json:"used"`
+	WasGeneratedBy []OPMDependency `json:"wasGeneratedBy"`
+}
+
+// OPMArtifact is an OPM artifact (a Data object).
+type OPMArtifact struct {
+	ID    string            `json:"id"`
+	Value string            `json:"value,omitempty"` // display name
+	Notes map[string]string `json:"notes,omitempty"`
+	XPlus *OPMXPlus         `json:"x-plus,omitempty"`
+}
+
+// OPMProcess is an OPM process (an Invocation).
+type OPMProcess struct {
+	ID    string            `json:"id"`
+	Value string            `json:"value,omitempty"`
+	Notes map[string]string `json:"notes,omitempty"`
+	XPlus *OPMXPlus         `json:"x-plus,omitempty"`
+}
+
+// OPMDependency is one used/wasGeneratedBy arc. For used, Effect is the
+// process and Cause the artifact consumed; for wasGeneratedBy, Effect is
+// the artifact and Cause the generating process.
+type OPMDependency struct {
+	Effect string `json:"effect"`
+	Cause  string `json:"cause"`
+	Role   string `json:"role,omitempty"`
+}
+
+// OPMXPlus carries the PLUS sensitivity extension.
+type OPMXPlus struct {
+	Lowest  string `json:"lowest,omitempty"`
+	Protect string `json:"protect,omitempty"`
+}
+
+// ExportOPM writes the whole store as an OPM document.
+func (s *Store) ExportOPM(w io.Writer) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	doc := OPMDocument{
+		Artifacts:      []OPMArtifact{},
+		Processes:      []OPMProcess{},
+		Used:           []OPMDependency{},
+		WasGeneratedBy: []OPMDependency{},
+	}
+	ids := make([]string, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	kind := map[string]ObjectKind{}
+	for _, id := range ids {
+		o := s.objects[id]
+		kind[id] = o.Kind
+		var x *OPMXPlus
+		if o.Lowest != "" || o.Protect != "" {
+			x = &OPMXPlus{Lowest: o.Lowest, Protect: o.Protect}
+		}
+		if o.Kind == Data {
+			doc.Artifacts = append(doc.Artifacts, OPMArtifact{ID: id, Value: o.Name, Notes: o.Features, XPlus: x})
+		} else {
+			doc.Processes = append(doc.Processes, OPMProcess{ID: id, Value: o.Name, Notes: o.Features, XPlus: x})
+		}
+	}
+	for _, id := range ids {
+		for _, e := range s.out[id] {
+			dep := OPMDependency{Role: e.Label}
+			if kind[e.To] == Invocation {
+				// artifact -> process: the process used the artifact.
+				dep.Effect, dep.Cause = e.To, e.From
+				doc.Used = append(doc.Used, dep)
+			} else {
+				// anything -> artifact (or process -> process, which OPM
+				// models as generation of the downstream entity).
+				dep.Effect, dep.Cause = e.To, e.From
+				doc.WasGeneratedBy = append(doc.WasGeneratedBy, dep)
+			}
+		}
+	}
+	s.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ImportOPM reads an OPM document and stores its contents. Entities are
+// inserted before dependencies, so a well-formed document always imports;
+// dependencies naming unknown entities are an error. Edge direction
+// follows dataflow: used(P, A) becomes A -> P, wasGeneratedBy(A, P)
+// becomes P -> A.
+func (s *Store) ImportOPM(r io.Reader) error {
+	var doc OPMDocument
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("plus: opm decode: %w", err)
+	}
+	for _, a := range doc.Artifacts {
+		o := Object{ID: a.ID, Kind: Data, Name: a.Value, Features: a.Notes}
+		if a.XPlus != nil {
+			o.Lowest, o.Protect = a.XPlus.Lowest, a.XPlus.Protect
+		}
+		if err := s.PutObject(o); err != nil {
+			return err
+		}
+	}
+	for _, p := range doc.Processes {
+		o := Object{ID: p.ID, Kind: Invocation, Name: p.Value, Features: p.Notes}
+		if p.XPlus != nil {
+			o.Lowest, o.Protect = p.XPlus.Lowest, p.XPlus.Protect
+		}
+		if err := s.PutObject(o); err != nil {
+			return err
+		}
+	}
+	for _, d := range doc.Used {
+		if err := s.PutEdge(Edge{From: d.Cause, To: d.Effect, Label: roleOr(d.Role, "used")}); err != nil {
+			return err
+		}
+	}
+	for _, d := range doc.WasGeneratedBy {
+		if err := s.PutEdge(Edge{From: d.Cause, To: d.Effect, Label: roleOr(d.Role, "wasGeneratedBy")}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func roleOr(role, fallback string) string {
+	if role != "" {
+		return role
+	}
+	return fallback
+}

@@ -1,0 +1,282 @@
+package plus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// Mode selects how a lineage answer is protected for the viewer.
+type Mode string
+
+const (
+	// ModeHide answers with the naive all-or-nothing account.
+	ModeHide Mode = "hide"
+	// ModeSurrogate answers with the maximally informative protected
+	// account of the Surrogate Generation Algorithm.
+	ModeSurrogate Mode = "surrogate"
+)
+
+// Request is one lineage query: the paper's canonical "what data and
+// processes contributed to this data?" traversal.
+type Request struct {
+	// Start is the object whose lineage is requested.
+	Start string
+	// Direction selects ancestors (Backward, the common provenance
+	// question), descendants (Forward), or the full weakly-connected
+	// lineage (Undirected).
+	Direction graph.Direction
+	// Depth bounds the traversal in hops; 0 means unbounded.
+	Depth int
+	// Viewer is the consumer's privilege-predicate.
+	Viewer privilege.Predicate
+	// Mode picks hide vs surrogate protection; default surrogate.
+	Mode Mode
+	// LabelFilter, when set, restricts the traversal to edges with this
+	// label (e.g. only "input-to" dependencies).
+	LabelFilter string
+	// KindFilter, when set, restricts the traversal to objects of this
+	// kind; the start object is always included. Paths through
+	// filtered-out objects are not followed.
+	KindFilter ObjectKind
+}
+
+// Timing is the Figure 10 cost decomposition of answering one query.
+type Timing struct {
+	// DBAccess: reading the lineage closure out of the store.
+	DBAccess time.Duration
+	// Build: assembling the graph, labeling, policy and surrogate
+	// registry from the fetched records.
+	Build time.Duration
+	// Protect: generating the protected account.
+	Protect time.Duration
+	// Total covers the whole query.
+	Total time.Duration
+}
+
+// Result is a protected lineage answer.
+type Result struct {
+	Spec    *account.Spec
+	Account *account.Account
+	Timing  Timing
+}
+
+// Engine answers lineage queries against a store under a privilege
+// lattice.
+type Engine struct {
+	store   *Store
+	lattice *privilege.Lattice
+}
+
+// NewEngine binds a store to the lattice its Lowest nicknames refer to.
+func NewEngine(store *Store, lattice *privilege.Lattice) *Engine {
+	return &Engine{store: store, lattice: lattice}
+}
+
+// Lattice returns the engine's privilege lattice.
+func (en *Engine) Lattice() *privilege.Lattice { return en.lattice }
+
+// fetched is the raw lineage closure pulled from the store.
+type fetched struct {
+	objects    []Object
+	edges      []Edge
+	surrogates []SurrogateSpec
+}
+
+// fetch walks the store's adjacency from the start object, honouring the
+// requested direction and depth, and returns every object, edge and
+// surrogate in the closure. This is the "DB access" phase of Figure 10.
+func (en *Engine) fetch(req Request) (*fetched, error) {
+	s := en.store
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	start, ok := s.objects[req.Start]
+	if !ok {
+		return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, ErrNotFound)
+	}
+	f := &fetched{objects: []Object{start}}
+	seen := map[string]int{req.Start: 0}
+	edgeSeen := map[[2]string]bool{}
+	queue := []string{req.Start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		depth := seen[cur]
+		if req.Depth > 0 && depth >= req.Depth {
+			continue
+		}
+		var steps []Edge
+		if req.Direction == graph.Forward || req.Direction == graph.Undirected {
+			steps = append(steps, s.out[cur]...)
+		}
+		if req.Direction == graph.Backward || req.Direction == graph.Undirected {
+			steps = append(steps, s.in[cur]...)
+		}
+		for _, e := range steps {
+			if req.LabelFilter != "" && e.Label != req.LabelFilter {
+				continue
+			}
+			next := e.To
+			if next == cur {
+				next = e.From
+			}
+			if req.KindFilter != "" && s.objects[next].Kind != req.KindFilter {
+				continue
+			}
+			key := [2]string{e.From, e.To}
+			if !edgeSeen[key] {
+				edgeSeen[key] = true
+				f.edges = append(f.edges, e)
+			}
+			if _, ok := seen[next]; !ok {
+				seen[next] = depth + 1
+				f.objects = append(f.objects, s.objects[next])
+				queue = append(queue, next)
+			}
+		}
+	}
+	for _, o := range f.objects {
+		f.surrogates = append(f.surrogates, s.surrogates[o.ID]...)
+	}
+	return f, nil
+}
+
+// build assembles the account.Spec from a fetched closure: the "build
+// graph" phase of Figure 10.
+func (en *Engine) build(f *fetched) (*account.Spec, error) {
+	g := graph.New()
+	lb := privilege.NewLabeling(en.lattice)
+	pol := policy.New(en.lattice)
+	reg := surrogate.NewRegistry(lb)
+
+	for _, o := range f.objects {
+		feats := graph.Features{"name": o.Name, "kind": string(o.Kind)}
+		for k, v := range o.Features {
+			feats[k] = v
+		}
+		g.AddNode(graph.Node{ID: graph.NodeID(o.ID), Features: feats})
+		if o.Lowest != "" {
+			if err := lb.SetNode(graph.NodeID(o.ID), privilege.Predicate(o.Lowest)); err != nil {
+				return nil, err
+			}
+		}
+		if o.Protect != "" {
+			below := policy.Surrogate
+			if o.Protect == string(ModeHide) {
+				below = policy.Hide
+			}
+			lowest := privilege.Predicate(o.Lowest)
+			if o.Lowest == "" {
+				lowest = privilege.Public
+			}
+			if err := pol.SetNodeThreshold(graph.NodeID(o.ID), lowest, below); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range f.edges {
+		ge := graph.Edge{From: graph.NodeID(e.From), To: graph.NodeID(e.To), Label: e.Label}
+		if err := g.AddEdge(ge); err != nil {
+			return nil, err
+		}
+		if e.Marking == "" {
+			continue
+		}
+		lowest := privilege.Predicate(e.Lowest)
+		if e.Lowest == "" {
+			lowest = privilege.Public
+		}
+		var below policy.Marking
+		switch e.Marking {
+		case string(ModeSurrogate):
+			below = policy.Surrogate
+		case string(ModeHide):
+			below = policy.Hide
+		default:
+			return nil, fmt.Errorf("plus: edge %s->%s has unknown marking %q", e.From, e.To, e.Marking)
+		}
+		if err := pol.SetIncidenceThreshold(ge.To, ge.ID(), lowest, below); err != nil {
+			return nil, err
+		}
+	}
+	for _, sp := range f.surrogates {
+		lowest := privilege.Predicate(sp.Lowest)
+		if sp.Lowest == "" {
+			lowest = privilege.Public
+		}
+		feats := graph.Features{"name": sp.Name}
+		for k, v := range sp.Features {
+			feats[k] = v
+		}
+		err := reg.Add(graph.NodeID(sp.ForID), surrogate.Surrogate{
+			ID:        graph.NodeID(sp.ID),
+			Features:  feats,
+			Lowest:    lowest,
+			InfoScore: sp.InfoScore,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &account.Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: reg}, nil
+}
+
+// Lineage answers one lineage query with a protected account and its cost
+// decomposition.
+func (en *Engine) Lineage(req Request) (*Result, error) {
+	t0 := time.Now()
+	if req.Viewer == "" {
+		req.Viewer = privilege.Public
+	}
+	if req.Mode == "" {
+		req.Mode = ModeSurrogate
+	}
+	if !en.lattice.Known(req.Viewer) {
+		return nil, fmt.Errorf("plus: unknown viewer predicate %q", req.Viewer)
+	}
+
+	f, err := en.fetch(req)
+	tFetch := time.Now()
+	if err != nil {
+		return nil, err
+	}
+
+	spec, err := en.build(f)
+	tBuild := time.Now()
+	if err != nil {
+		return nil, err
+	}
+
+	var acct *account.Account
+	switch req.Mode {
+	case ModeHide:
+		acct, err = account.GenerateHide(spec, req.Viewer)
+	case ModeSurrogate:
+		acct, err = account.Generate(spec, req.Viewer)
+	default:
+		err = fmt.Errorf("plus: unknown mode %q", req.Mode)
+	}
+	tProtect := time.Now()
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Spec:    spec,
+		Account: acct,
+		Timing: Timing{
+			DBAccess: tFetch.Sub(t0),
+			Build:    tBuild.Sub(tFetch),
+			Protect:  tProtect.Sub(tBuild),
+			Total:    tProtect.Sub(t0),
+		},
+	}, nil
+}

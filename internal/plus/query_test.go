@@ -1,0 +1,201 @@
+package plus
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/privilege"
+)
+
+// lineageFixture stores a small provenance chain with one sensitive
+// invocation in the middle:
+//
+//	src(data) -> proc(invocation, Protected, role surrogated)
+//	          -> out(data) -> report(data)
+//
+// plus a surrogate for proc.
+func lineageFixture(t *testing.T) *Engine {
+	t.Helper()
+	s, _ := openTemp(t)
+	objs := []Object{
+		{ID: "src", Kind: Data, Name: "raw feed"},
+		{ID: "proc", Kind: Invocation, Name: "secret analytic", Lowest: "Protected", Protect: "surrogate"},
+		{ID: "out", Kind: Data, Name: "derived table"},
+		{ID: "report", Kind: Data, Name: "final report"},
+	}
+	for _, o := range objs {
+		if err := s.PutObject(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []Edge{
+		{From: "src", To: "proc", Label: "input-to"},
+		{From: "proc", To: "out", Label: "generated"},
+		{From: "out", To: "report", Label: "input-to"},
+	}
+	for _, e := range edges {
+		if err := s.PutEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutSurrogate(SurrogateSpec{ForID: "proc", ID: "proc'", Name: "an analytic", InfoScore: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(s, privilege.TwoLevel())
+}
+
+func TestLineageAncestorsSurrogate(t *testing.T) {
+	en := lineageFixture(t)
+	res, err := en.Lineage(Request{Start: "report", Direction: graph.Backward, Viewer: privilege.Public})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Account
+	if a.Graph.HasNode("proc") {
+		t.Error("sensitive invocation leaked")
+	}
+	// The surrogate-marked incidences contract around proc'; proc' itself
+	// appears (it has a registered surrogate) but its edges do not.
+	if !a.Graph.HasNode("proc'") {
+		t.Errorf("surrogate node missing: %v", a.Graph.Nodes())
+	}
+	if !a.Graph.HasEdge("src", "out") {
+		t.Errorf("surrogate edge src->out missing: %v", a.Graph.Edges())
+	}
+	if !a.Graph.HasEdge("out", "report") {
+		t.Error("public edge out->report missing")
+	}
+	if err := account.VerifySound(res.Spec, a); err != nil {
+		t.Errorf("unsound lineage answer: %v", err)
+	}
+	// Timing fields are populated and consistent.
+	tm := res.Timing
+	if tm.Total <= 0 || tm.DBAccess < 0 || tm.Build < 0 || tm.Protect < 0 {
+		t.Errorf("bad timing %+v", tm)
+	}
+	if tm.DBAccess+tm.Build+tm.Protect > tm.Total+tm.Total {
+		t.Errorf("timing parts exceed total: %+v", tm)
+	}
+}
+
+func TestLineageHideMode(t *testing.T) {
+	en := lineageFixture(t)
+	res, err := en.Lineage(Request{Start: "report", Direction: graph.Backward, Viewer: privilege.Public, Mode: ModeHide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Account
+	if a.Graph.HasNode("proc") || a.Graph.HasNode("proc'") {
+		t.Error("hide mode must not use surrogates")
+	}
+	if a.Graph.HasEdge("src", "out") {
+		t.Error("hide mode interposed a surrogate edge")
+	}
+	// src is cut off from the rest.
+	if a.Graph.HasPath("src", "report") {
+		t.Error("hide mode should break the path")
+	}
+}
+
+func TestLineagePrivilegedViewerSeesAll(t *testing.T) {
+	en := lineageFixture(t)
+	res, err := en.Lineage(Request{Start: "report", Direction: graph.Backward, Viewer: "Protected"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Account
+	if !a.Graph.HasNode("proc") || !a.Graph.HasEdge("src", "proc") || !a.Graph.HasEdge("proc", "out") {
+		t.Errorf("privileged viewer should see the original: %v", a.Graph.Edges())
+	}
+	if a.Graph.HasNode("proc'") {
+		t.Error("privileged viewer should not get the surrogate")
+	}
+}
+
+func TestLineageDirectionAndDepth(t *testing.T) {
+	en := lineageFixture(t)
+	// Descendants of src (full privilege to see sizes plainly).
+	res, err := en.Lineage(Request{Start: "src", Direction: graph.Forward, Viewer: "Protected"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Account.Graph.NumNodes() != 4 {
+		t.Errorf("descendants of src = %v", res.Account.Graph.Nodes())
+	}
+	// Depth-limited: one hop back from report.
+	res, err = en.Lineage(Request{Start: "report", Direction: graph.Backward, Depth: 1, Viewer: "Protected"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Account.Graph.NumNodes() != 2 || !res.Account.Graph.HasEdge("out", "report") {
+		t.Errorf("depth-1 lineage = %v", res.Account.Graph.Nodes())
+	}
+	// Undirected closure from out reaches everything.
+	res, err = en.Lineage(Request{Start: "out", Direction: graph.Undirected, Viewer: "Protected"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Account.Graph.NumNodes() != 4 {
+		t.Errorf("undirected closure = %v", res.Account.Graph.Nodes())
+	}
+}
+
+func TestLineageFilters(t *testing.T) {
+	en := lineageFixture(t)
+	// Label filter: only "input-to" edges are followed from report.
+	res, err := en.Lineage(Request{
+		Start: "report", Direction: graph.Backward, Viewer: "Protected", LabelFilter: "input-to",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// report <- out via input-to; out <- proc is "generated" and blocked.
+	if res.Account.Graph.NumNodes() != 2 {
+		t.Errorf("label-filtered lineage = %v", res.Account.Graph.Nodes())
+	}
+	// Kind filter: traversal only through data objects; the invocation
+	// proc blocks the walk.
+	res, err = en.Lineage(Request{
+		Start: "report", Direction: graph.Backward, Viewer: "Protected", KindFilter: Data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Account.Graph.HasNode("proc") {
+		t.Errorf("kind filter leaked an invocation: %v", res.Account.Graph.Nodes())
+	}
+	if !res.Account.Graph.HasNode("out") {
+		t.Errorf("kind filter dropped a data ancestor: %v", res.Account.Graph.Nodes())
+	}
+}
+
+func TestLineageErrors(t *testing.T) {
+	en := lineageFixture(t)
+	if _, err := en.Lineage(Request{Start: "nope"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing start = %v", err)
+	}
+	if _, err := en.Lineage(Request{Start: "report", Viewer: "Bogus"}); err == nil {
+		t.Error("unknown viewer accepted")
+	}
+	if _, err := en.Lineage(Request{Start: "report", Mode: "banana"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestLineageBadEdgeMarking(t *testing.T) {
+	s, _ := openTemp(t)
+	for _, id := range []string{"a", "b"} {
+		if err := s.PutObject(Object{ID: id, Kind: Data, Name: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutEdge(Edge{From: "a", To: "b", Marking: "banana"}); err != nil {
+		t.Fatal(err) // the store accepts it; the engine rejects at build
+	}
+	en := NewEngine(s, privilege.TwoLevel())
+	if _, err := en.Lineage(Request{Start: "b", Direction: graph.Backward}); err == nil {
+		t.Error("unknown stored marking not rejected at query time")
+	}
+}

@@ -1,0 +1,345 @@
+package plus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/measure"
+	"repro/internal/privilege"
+)
+
+// lineageAnswerer lets the server run against either a plain Engine or a
+// CachedEngine.
+type lineageAnswerer interface {
+	Lineage(Request) (*Result, error)
+}
+
+// Server exposes a store and its query engine over HTTP with a small JSON
+// API:
+//
+//	POST /v1/objects            store an Object
+//	POST /v1/edges              store an Edge
+//	POST /v1/surrogates         store a SurrogateSpec
+//	GET  /v1/objects/{id}       fetch an Object
+//	GET  /v1/lineage            lineage query (see LineageResponse)
+//	GET  /v1/stats              store statistics
+//	GET  /v1/opm                export the store as an OPM document
+//	POST /v1/opm                import an OPM document
+//
+// Lineage query parameters: start (required), direction
+// (ancestors|descendants|both, default ancestors), depth (int, default 0 =
+// unbounded), viewer (predicate nickname, default Public), mode
+// (hide|surrogate, default surrogate), label (edge-label filter), kind
+// (data|invocation traversal filter).
+type Server struct {
+	engine   *Engine
+	answerer lineageAnswerer
+	mux      *http.ServeMux
+}
+
+// NewServer wires the HTTP handlers around an engine.
+func NewServer(engine *Engine) *Server {
+	return newServer(engine, engine)
+}
+
+// NewCachedServer wires the handlers around a cache-fronted engine;
+// lineage answers are memoised until the store changes.
+func NewCachedServer(engine *CachedEngine) *Server {
+	return newServer(engine.Engine, engine)
+}
+
+func newServer(engine *Engine, answerer lineageAnswerer) *Server {
+	s := &Server{engine: engine, answerer: answerer, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/objects", s.handleObjects)
+	s.mux.HandleFunc("/v1/objects/", s.handleObjectByID)
+	s.mux.HandleFunc("/v1/edges", s.handleEdges)
+	s.mux.HandleFunc("/v1/surrogates", s.handleSurrogates)
+	s.mux.HandleFunc("/v1/lineage", s.handleLineage)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/opm", s.handleOPM)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	default:
+		// Validation failures from the store/engine are client errors.
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// maxBodyBytes bounds mutation request bodies; provenance records are
+// small, so anything near a megabyte is malformed or hostile.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("plus: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var o Object
+	if err := decodeBody(w, r, &o); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.engine.store.PutObject(o); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, o)
+}
+
+func (s *Server) handleObjectByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/objects/")
+	o, err := s.engine.store.GetObject(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, o)
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var e Edge
+	if err := decodeBody(w, r, &e); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.engine.store.PutEdge(e); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e)
+}
+
+func (s *Server) handleSurrogates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var sp SurrogateSpec
+	if err := decodeBody(w, r, &sp); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.engine.store.PutSurrogate(sp); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sp)
+}
+
+// LineageNode is one node of a lineage answer.
+type LineageNode struct {
+	ID        string            `json:"id"`
+	Features  map[string]string `json:"features,omitempty"`
+	Surrogate bool              `json:"surrogate,omitempty"`
+}
+
+// LineageEdge is one edge of a lineage answer.
+type LineageEdge struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Label     string `json:"label,omitempty"`
+	Surrogate bool   `json:"surrogate,omitempty"`
+}
+
+// LineageTiming reports the Figure 10 decomposition in microseconds.
+type LineageTiming struct {
+	DBAccessUS int64 `json:"dbAccessUs"`
+	BuildUS    int64 `json:"buildUs"`
+	ProtectUS  int64 `json:"protectUs"`
+	TotalUS    int64 `json:"totalUs"`
+}
+
+// LineageResponse is the JSON answer to a lineage query.
+type LineageResponse struct {
+	Start       string        `json:"start"`
+	Viewer      string        `json:"viewer"`
+	Mode        string        `json:"mode"`
+	Nodes       []LineageNode `json:"nodes"`
+	Edges       []LineageEdge `json:"edges"`
+	PathUtility float64       `json:"pathUtility"`
+	NodeUtility float64       `json:"nodeUtility"`
+	Timing      LineageTiming `json:"timing"`
+}
+
+func parseDirection(s string) (graph.Direction, error) {
+	switch s {
+	case "", "ancestors":
+		return graph.Backward, nil
+	case "descendants":
+		return graph.Forward, nil
+	case "both":
+		return graph.Undirected, nil
+	default:
+		return 0, fmt.Errorf("plus: unknown direction %q", s)
+	}
+}
+
+func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	start := q.Get("start")
+	if start == "" {
+		writeError(w, fmt.Errorf("plus: missing start parameter"))
+		return
+	}
+	dir, err := parseDirection(q.Get("direction"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	depth := 0
+	if d := q.Get("depth"); d != "" {
+		depth, err = strconv.Atoi(d)
+		if err != nil || depth < 0 {
+			writeError(w, fmt.Errorf("plus: bad depth %q", d))
+			return
+		}
+	}
+	mode := Mode(q.Get("mode"))
+	if mode == "" {
+		mode = ModeSurrogate
+	}
+	if mode != ModeHide && mode != ModeSurrogate {
+		writeError(w, fmt.Errorf("plus: unknown mode %q", mode))
+		return
+	}
+	kind := ObjectKind(q.Get("kind"))
+	if kind != "" && kind != Data && kind != Invocation {
+		writeError(w, fmt.Errorf("plus: unknown kind %q", kind))
+		return
+	}
+	req := Request{
+		Start:       start,
+		Direction:   dir,
+		Depth:       depth,
+		Viewer:      privilege.Predicate(q.Get("viewer")),
+		Mode:        mode,
+		LabelFilter: q.Get("label"),
+		KindFilter:  kind,
+	}
+	res, err := s.answerer.Lineage(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := LineageResponse{
+		Start:       start,
+		Viewer:      string(req.Viewer),
+		Mode:        string(mode),
+		PathUtility: measure.PathUtility(res.Spec, res.Account),
+		NodeUtility: measure.NodeUtility(res.Spec, res.Account),
+		Timing: LineageTiming{
+			DBAccessUS: res.Timing.DBAccess.Microseconds(),
+			BuildUS:    res.Timing.Build.Microseconds(),
+			ProtectUS:  res.Timing.Protect.Microseconds(),
+			TotalUS:    res.Timing.Total.Microseconds(),
+		},
+	}
+	for _, id := range res.Account.Graph.Nodes() {
+		n, _ := res.Account.Graph.NodeByID(id)
+		_, isSurr := res.Account.SurrogateNodes[id]
+		resp.Nodes = append(resp.Nodes, LineageNode{ID: string(id), Features: n.Features, Surrogate: isSurr})
+	}
+	for _, e := range res.Account.Graph.Edges() {
+		resp.Edges = append(resp.Edges, LineageEdge{
+			From:      string(e.From),
+			To:        string(e.To),
+			Label:     e.Label,
+			Surrogate: res.Account.SurrogateEdges[e.ID()],
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleOPM exports the store as an OPM document (GET) or imports one
+// (POST).
+func (s *Server) handleOPM(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.engine.store.ExportOPM(w); err != nil {
+			// Headers may already be out; best effort.
+			writeError(w, err)
+		}
+	case http.MethodPost:
+		// OPM documents can be large but not unbounded; allow 64 MiB.
+		if err := s.engine.store.ImportOPM(http.MaxBytesReader(w, r.Body, 64<<20)); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "imported"})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// StatsResponse summarises the store.
+type StatsResponse struct {
+	Objects   int   `json:"objects"`
+	Edges     int   `json:"edges"`
+	LogBytes  int64 `json:"logBytes"`
+	UptimeSec int64 `json:"uptimeSec"`
+}
+
+var serverStart = time.Now()
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Objects:   s.engine.store.NumObjects(),
+		Edges:     s.engine.store.NumEdges(),
+		LogBytes:  s.engine.store.Size(),
+		UptimeSec: int64(time.Since(serverStart).Seconds()),
+	})
+}

@@ -1,0 +1,416 @@
+// Package plus reimplements the substrate the paper evaluated on: the
+// PLUS provenance prototype ("PLUS: Synthesizing privacy, lineage,
+// uncertainty and security", ICDE Workshops 2008). It provides a durable
+// provenance store for lineage DAGs — data objects, process invocations
+// and the edges between them — together with a privilege-aware lineage
+// query engine that answers path-traversal queries ("what contributed to
+// this data?") with protected accounts, and an HTTP server/client pair.
+//
+// The storage engine is a single append-only log file: each record is
+// length-prefixed, type-tagged and CRC-guarded; an in-memory index (object
+// id -> offset, plus adjacency) is rebuilt by scanning the log on open,
+// and a torn tail from a crashed writer is detected and truncated. This is
+// deliberately the classical minimal write-ahead design: the paper's
+// Figure 10 experiment decomposes query cost into DB access, graph build
+// and protection, and this engine reproduces that decomposition honestly.
+package plus
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// ObjectKind distinguishes provenance node types (Open Provenance Model
+// terminology: artifacts and processes).
+type ObjectKind string
+
+const (
+	// Data is an artifact: a file, record, report, model, ...
+	Data ObjectKind = "data"
+	// Invocation is a process execution that consumed and produced data.
+	Invocation ObjectKind = "invocation"
+)
+
+// Object is one provenance node.
+type Object struct {
+	ID       string            `json:"id"`
+	Kind     ObjectKind        `json:"kind"`
+	Name     string            `json:"name"`
+	Features map[string]string `json:"features,omitempty"`
+	// Lowest is the nickname of the object's lowest privilege-predicate;
+	// empty means Public.
+	Lowest string `json:"lowest,omitempty"`
+	// Protect selects how the object's node-edge incidences are marked
+	// for consumers below Lowest (§3.2: providers may mark all edges
+	// connected to a node): "surrogate" preserves connectivity through
+	// the hidden node, "hide" severs it, "" leaves the incidences
+	// Visible (edges then attach to the object's surrogate, if any).
+	Protect string `json:"protect,omitempty"`
+}
+
+// Edge is one provenance relationship (e.g. "input-to", "generated-by")
+// from object From to object To, directed along dataflow.
+type Edge struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Label string `json:"label,omitempty"`
+	// Marking optionally restricts the edge for consumers below Lowest:
+	// "surrogate" contracts it, "hide" drops it, "" shows it.
+	Marking string `json:"marking,omitempty"`
+	// Lowest is the predicate at or above which the edge is fully visible
+	// when Marking is set.
+	Lowest string `json:"lowest,omitempty"`
+}
+
+// SurrogateSpec is a provider-supplied surrogate version of an object.
+type SurrogateSpec struct {
+	ForID     string            `json:"for"`
+	ID        string            `json:"id"`
+	Name      string            `json:"name"`
+	Features  map[string]string `json:"features,omitempty"`
+	Lowest    string            `json:"lowest,omitempty"`
+	InfoScore float64           `json:"infoScore"`
+}
+
+// record type tags in the log.
+const (
+	recObject    = byte(1)
+	recEdge      = byte(2)
+	recSurrogate = byte(3)
+)
+
+// ErrNotFound is returned when an object id is unknown.
+var ErrNotFound = errors.New("plus: object not found")
+
+// ErrClosed is returned on use after Close.
+var ErrClosed = errors.New("plus: store closed")
+
+// Store is the durable provenance store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	f    *os.File
+	path string
+	size int64
+	sync bool
+
+	objects    map[string]Object
+	history    map[string][]Object // superseded versions, oldest first
+	out        map[string][]Edge   // keyed by From
+	in         map[string][]Edge   // keyed by To
+	surrogates map[string][]SurrogateSpec
+
+	// revision increments on every applied record; engines use it to
+	// invalidate cached protected accounts when the store changes.
+	revision uint64
+
+	closed bool
+}
+
+// Options configure Open.
+type Options struct {
+	// Sync makes every append fsync before returning (durable but slow);
+	// off by default, matching typical prototype deployments.
+	Sync bool
+}
+
+// Open opens (or creates) a store at path, replaying the log to rebuild
+// the in-memory index. A torn final record — a crash mid-append — is
+// truncated away; any earlier corruption is reported as an error.
+func Open(path string, opts Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("plus: open %s: %w", path, err)
+	}
+	s := &Store{
+		f:          f,
+		path:       path,
+		sync:       opts.Sync,
+		objects:    map[string]Object{},
+		history:    map[string][]Object{},
+		out:        map[string][]Edge{},
+		in:         map[string][]Edge{},
+		surrogates: map[string][]SurrogateSpec{},
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the log, applying every intact record and truncating a
+// torn tail.
+func (s *Store) replay() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("plus: stat: %w", err)
+	}
+	total := info.Size()
+	var off int64
+	r := io.NewSectionReader(s.f, 0, total)
+	for off < total {
+		payload, n, err := readRecord(r)
+		if err != nil {
+			tornAtTail := errors.Is(err, errTornRecord) ||
+				(errors.Is(err, errBadChecksum) && off+n >= total)
+			if tornAtTail {
+				// Crash mid-append: discard the tail.
+				if terr := s.f.Truncate(off); terr != nil {
+					return fmt.Errorf("plus: truncate torn tail: %w", terr)
+				}
+				break
+			}
+			return fmt.Errorf("plus: replay at offset %d: %w", off, err)
+		}
+		if err := s.apply(payload[0], payload[1:]); err != nil {
+			return fmt.Errorf("plus: replay at offset %d: %w", off, err)
+		}
+		off += n
+	}
+	s.size = off
+	if _, err := s.f.Seek(s.size, io.SeekStart); err != nil {
+		return fmt.Errorf("plus: seek: %w", err)
+	}
+	return nil
+}
+
+// errTornRecord marks an incomplete record at the very end of the log;
+// errBadChecksum marks a record whose payload fails its CRC. A bad
+// checksum at the tail is a torn write (truncated by replay); anywhere
+// else it is corruption and replay fails loudly.
+var (
+	errTornRecord  = errors.New("plus: torn record")
+	errBadChecksum = errors.New("plus: record checksum mismatch")
+)
+
+// record layout: 4-byte little-endian payload length, 4-byte CRC32C of the
+// payload, payload (1 type byte + JSON body).
+func readRecord(r io.Reader) ([]byte, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, 0, errTornRecord
+		}
+		return nil, 0, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > 1<<24 {
+		return nil, 0, fmt.Errorf("plus: implausible record length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, 0, errTornRecord
+		}
+		return nil, 0, err
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, int64(8 + length), errBadChecksum
+	}
+	return payload, int64(8 + length), nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func (s *Store) apply(kind byte, body []byte) error {
+	switch kind {
+	case recObject:
+		var o Object
+		if err := json.Unmarshal(body, &o); err != nil {
+			return err
+		}
+		if prev, existed := s.objects[o.ID]; existed {
+			s.history[o.ID] = append(s.history[o.ID], prev)
+		}
+		s.objects[o.ID] = o
+	case recEdge:
+		var e Edge
+		if err := json.Unmarshal(body, &e); err != nil {
+			return err
+		}
+		s.out[e.From] = append(s.out[e.From], e)
+		s.in[e.To] = append(s.in[e.To], e)
+	case recSurrogate:
+		var sp SurrogateSpec
+		if err := json.Unmarshal(body, &sp); err != nil {
+			return err
+		}
+		s.surrogates[sp.ForID] = append(s.surrogates[sp.ForID], sp)
+	default:
+		return fmt.Errorf("plus: unknown record type %d", kind)
+	}
+	s.revision++
+	return nil
+}
+
+// Revision returns a counter that increases with every stored record;
+// equal revisions imply identical store contents (within one process).
+func (s *Store) Revision() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.revision
+}
+
+// append writes one record and updates the index via apply.
+func (s *Store) append(kind byte, v interface{}) error {
+	if s.closed {
+		return ErrClosed
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("plus: encode: %w", err)
+	}
+	payload := append([]byte{kind}, body...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := s.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("plus: write: %w", err)
+	}
+	if _, err := s.f.Write(payload); err != nil {
+		return fmt.Errorf("plus: write: %w", err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("plus: sync: %w", err)
+		}
+	}
+	s.size += int64(8 + len(payload))
+	return s.apply(kind, body)
+}
+
+// PutObject stores (or replaces) a provenance object.
+func (s *Store) PutObject(o Object) error {
+	if o.ID == "" {
+		return fmt.Errorf("plus: object with empty id")
+	}
+	if o.Kind != Data && o.Kind != Invocation {
+		return fmt.Errorf("plus: object %s has unknown kind %q", o.ID, o.Kind)
+	}
+	if o.Protect != "" && o.Protect != string(ModeHide) && o.Protect != string(ModeSurrogate) {
+		return fmt.Errorf("plus: object %s has unknown protect mode %q", o.ID, o.Protect)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(recObject, o)
+}
+
+// PutEdge stores a provenance edge; both endpoints must exist.
+func (s *Store) PutEdge(e Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[e.From]; !ok {
+		return fmt.Errorf("plus: edge %s->%s: %w (from)", e.From, e.To, ErrNotFound)
+	}
+	if _, ok := s.objects[e.To]; !ok {
+		return fmt.Errorf("plus: edge %s->%s: %w (to)", e.From, e.To, ErrNotFound)
+	}
+	if e.From == e.To {
+		return fmt.Errorf("plus: self edge %s rejected", e.From)
+	}
+	for _, prev := range s.out[e.From] {
+		if prev.To == e.To {
+			return fmt.Errorf("plus: duplicate edge %s->%s", e.From, e.To)
+		}
+	}
+	return s.append(recEdge, e)
+}
+
+// PutSurrogate stores a surrogate version of an object.
+func (s *Store) PutSurrogate(sp SurrogateSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[sp.ForID]; !ok {
+		return fmt.Errorf("plus: surrogate for %s: %w", sp.ForID, ErrNotFound)
+	}
+	if sp.ID == "" || sp.ID == sp.ForID {
+		return fmt.Errorf("plus: surrogate for %s has bad id %q", sp.ForID, sp.ID)
+	}
+	if sp.InfoScore < 0 || sp.InfoScore > 1 {
+		return fmt.Errorf("plus: surrogate %s infoScore %v out of [0,1]", sp.ID, sp.InfoScore)
+	}
+	return s.append(recSurrogate, sp)
+}
+
+// GetObject fetches one object by id.
+func (s *Store) GetObject(id string) (Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return Object{}, ErrClosed
+	}
+	o, ok := s.objects[id]
+	if !ok {
+		return Object{}, fmt.Errorf("plus: %q: %w", id, ErrNotFound)
+	}
+	return o, nil
+}
+
+// NumObjects reports how many objects the store holds.
+func (s *Store) NumObjects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// NumEdges reports how many edges the store holds.
+func (s *Store) NumEdges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, es := range s.out {
+		n += len(es)
+	}
+	return n
+}
+
+// History returns the superseded versions of an object, oldest first; the
+// live version is not included. Because the log is append-only the full
+// history replays on open; Compact drops it (only live state is
+// rewritten), which callers trade off against space.
+func (s *Store) History(id string) []Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Object(nil), s.history[id]...)
+}
+
+// Objects returns every object (unspecified order).
+func (s *Store) Objects() []Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Object, 0, len(s.objects))
+	for _, o := range s.objects {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Close flushes and closes the log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("plus: close sync: %w", err)
+	}
+	return s.f.Close()
+}
+
+// Size returns the log size in bytes.
+func (s *Store) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}

@@ -1,0 +1,323 @@
+// Package policy implements release policies for node-edge incidences
+// (Definition 7 of the paper): for a privilege-predicate p, every incidence
+// (n, e) carries a marking
+//
+//	mark(n, e, p) ∈ {Visible, Hide, Surrogate}.
+//
+// Visible — the provider will show this incidence to consumers satisfying
+// p. Hide — the incidence may not be shown nor used to compute any edge of
+// the protected account. Surrogate — the incidence may be used to maintain
+// a path in a protected account although it cannot be shown directly.
+//
+// Each edge is subject to marking by (at least) the providers of its source
+// and destination nodes, and the markings need not agree — local autonomy.
+// The final disposition of an edge combines the marks at both ends
+// (Algorithm 3): Visible+Visible shows the edge, any Hide kills it, and the
+// remaining combinations make it usable only for surrogate-edge
+// computation.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/privilege"
+)
+
+// Marking is the release decision for one node-edge incidence under one
+// privilege-predicate.
+type Marking int
+
+const (
+	// Visible incidences may be shown directly.
+	Visible Marking = iota
+	// Hide incidences may neither be shown nor traversed.
+	Hide
+	// Surrogate incidences may be traversed to compute surrogate edges
+	// but may not be shown.
+	Surrogate
+)
+
+func (m Marking) String() string {
+	switch m {
+	case Visible:
+		return "Visible"
+	case Hide:
+		return "Hide"
+	case Surrogate:
+		return "Surrogate"
+	default:
+		return fmt.Sprintf("Marking(%d)", int(m))
+	}
+}
+
+// Disposition is the per-edge combination of its two incidence markings.
+type Disposition int
+
+const (
+	// ShowEdge: both incidences Visible; the edge appears in the account.
+	ShowEdge Disposition = iota
+	// DropEdge: some incidence is Hide; the edge is unusable.
+	DropEdge
+	// ContractEdge: no Hide and at least one Surrogate; the edge may only
+	// be used to compute surrogate edges.
+	ContractEdge
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case ShowEdge:
+		return "Show"
+	case DropEdge:
+		return "Drop"
+	case ContractEdge:
+		return "Contract"
+	default:
+		return fmt.Sprintf("Disposition(%d)", int(d))
+	}
+}
+
+type incidence struct {
+	node graph.NodeID
+	edge graph.EdgeID
+}
+
+// threshold expresses the common provider rule "Visible to consumers whose
+// predicate dominates T, otherwise M".
+type threshold struct {
+	at    privilege.Predicate
+	below Marking
+}
+
+// Policy stores incidence markings. Resolution order for mark(n, e, p):
+//
+//  1. an explicit marking for exactly (n, e, p);
+//  2. a threshold rule for the incidence (n, e);
+//  3. an explicit node-level marking for (n, p) — the provider marking
+//     "all edges connected to a node" at once, §3.2;
+//  4. a threshold rule for node n;
+//  5. Visible (information is releasable unless its provider said
+//     otherwise; sensitivity of node content itself is handled by
+//     privilege.Labeling, not here).
+//
+// Policy is not safe for concurrent mutation.
+type Policy struct {
+	lattice *privilege.Lattice
+
+	incExplicit  map[incidence]map[privilege.Predicate]Marking
+	incThreshold map[incidence]threshold
+	nodeExplicit map[graph.NodeID]map[privilege.Predicate]Marking
+	nodeThresh   map[graph.NodeID]threshold
+}
+
+// New returns an empty (all-Visible) policy over the lattice.
+func New(l *privilege.Lattice) *Policy {
+	return &Policy{
+		lattice:      l,
+		incExplicit:  map[incidence]map[privilege.Predicate]Marking{},
+		incThreshold: map[incidence]threshold{},
+		nodeExplicit: map[graph.NodeID]map[privilege.Predicate]Marking{},
+		nodeThresh:   map[graph.NodeID]threshold{},
+	}
+}
+
+// Lattice returns the lattice the policy is defined over.
+func (p *Policy) Lattice() *privilege.Lattice { return p.lattice }
+
+func (p *Policy) checkPredicate(pr privilege.Predicate) error {
+	if !p.lattice.Known(pr) {
+		return fmt.Errorf("policy: unknown predicate %q", pr)
+	}
+	return nil
+}
+
+// SetIncidence records an explicit marking for the incidence of node n on
+// edge e under predicate pr. n must be an endpoint of e.
+func (p *Policy) SetIncidence(n graph.NodeID, e graph.EdgeID, pr privilege.Predicate, m Marking) error {
+	if n != e.From && n != e.To {
+		return fmt.Errorf("policy: node %s is not an endpoint of %s", n, e)
+	}
+	if err := p.checkPredicate(pr); err != nil {
+		return err
+	}
+	key := incidence{node: n, edge: e}
+	if p.incExplicit[key] == nil {
+		p.incExplicit[key] = map[privilege.Predicate]Marking{}
+	}
+	p.incExplicit[key][pr] = m
+	return nil
+}
+
+// SetIncidenceThreshold installs a threshold rule for one incidence:
+// Visible when the consumer predicate dominates at, otherwise below.
+func (p *Policy) SetIncidenceThreshold(n graph.NodeID, e graph.EdgeID, at privilege.Predicate, below Marking) error {
+	if n != e.From && n != e.To {
+		return fmt.Errorf("policy: node %s is not an endpoint of %s", n, e)
+	}
+	if err := p.checkPredicate(at); err != nil {
+		return err
+	}
+	p.incThreshold[incidence{node: n, edge: e}] = threshold{at: at, below: below}
+	return nil
+}
+
+// SetNode records an explicit marking covering every incidence of node n
+// under predicate pr ("providers may mark all edges connected to a node",
+// §3.2).
+func (p *Policy) SetNode(n graph.NodeID, pr privilege.Predicate, m Marking) error {
+	if err := p.checkPredicate(pr); err != nil {
+		return err
+	}
+	if p.nodeExplicit[n] == nil {
+		p.nodeExplicit[n] = map[privilege.Predicate]Marking{}
+	}
+	p.nodeExplicit[n][pr] = m
+	return nil
+}
+
+// SetNodeThreshold installs the common provider rule for all of node n's
+// incidences: Visible to consumers dominating at, otherwise below. Using
+// below=Surrogate is the paper's device for hiding a node's role while
+// preserving connectivity.
+func (p *Policy) SetNodeThreshold(n graph.NodeID, at privilege.Predicate, below Marking) error {
+	if err := p.checkPredicate(at); err != nil {
+		return err
+	}
+	p.nodeThresh[n] = threshold{at: at, below: below}
+	return nil
+}
+
+// Mark resolves mark(n, e, pr) per the resolution order documented on
+// Policy.
+func (p *Policy) Mark(n graph.NodeID, e graph.EdgeID, pr privilege.Predicate) Marking {
+	key := incidence{node: n, edge: e}
+	if ms, ok := p.incExplicit[key]; ok {
+		if m, ok := ms[pr]; ok {
+			return m
+		}
+	}
+	if th, ok := p.incThreshold[key]; ok {
+		if p.lattice.Dominates(pr, th.at) {
+			return Visible
+		}
+		return th.below
+	}
+	if ms, ok := p.nodeExplicit[n]; ok {
+		if m, ok := ms[pr]; ok {
+			return m
+		}
+	}
+	if th, ok := p.nodeThresh[n]; ok {
+		if p.lattice.Dominates(pr, th.at) {
+			return Visible
+		}
+		return th.below
+	}
+	return Visible
+}
+
+// Disposition combines the markings at both endpoints of e under pr
+// (Algorithm 3): any Hide drops the edge; Visible at both ends shows it;
+// everything else contracts it.
+func (p *Policy) Disposition(e graph.EdgeID, pr privilege.Predicate) Disposition {
+	src := p.Mark(e.From, e, pr)
+	dst := p.Mark(e.To, e, pr)
+	switch {
+	case src == Hide || dst == Hide:
+		return DropEdge
+	case src == Visible && dst == Visible:
+		return ShowEdge
+	default:
+		return ContractEdge
+	}
+}
+
+// Clone returns an independent copy of the policy (sharing the lattice).
+func (p *Policy) Clone() *Policy {
+	c := New(p.lattice)
+	for k, ms := range p.incExplicit {
+		cp := make(map[privilege.Predicate]Marking, len(ms))
+		for pr, m := range ms {
+			cp[pr] = m
+		}
+		c.incExplicit[k] = cp
+	}
+	for k, th := range p.incThreshold {
+		c.incThreshold[k] = th
+	}
+	for n, ms := range p.nodeExplicit {
+		cp := make(map[privilege.Predicate]Marking, len(ms))
+		for pr, m := range ms {
+			cp[pr] = m
+		}
+		c.nodeExplicit[n] = cp
+	}
+	for n, th := range p.nodeThresh {
+		c.nodeThresh[n] = th
+	}
+	return c
+}
+
+// Side selects which incidence(s) of an edge a protection rule marks.
+type Side int
+
+const (
+	// DstSide marks the destination incidence: contraction jumps forward
+	// past the destination to its successors.
+	DstSide Side = iota
+	// SrcSide marks the source incidence: contraction walks backward to
+	// the source's predecessors.
+	SrcSide
+	// BothSides marks both incidences.
+	BothSides
+)
+
+func (s Side) String() string {
+	switch s {
+	case DstSide:
+		return "dst"
+	case SrcSide:
+		return "src"
+	case BothSides:
+		return "both"
+	default:
+		return fmt.Sprintf("Side(%d)", int(s))
+	}
+}
+
+// ProtectEdge is the §6 evaluation helper: it protects a single edge for
+// consumers below the given predicate by marking the destination-side
+// incidence. With asSurrogate the incidence is marked Surrogate, so account
+// generation contracts the edge to the destination's successors; otherwise
+// it is marked Hide, the "show/hide" baseline.
+//
+// The destination side is the right side to mark: the paper's bipartite
+// motif discussion ("there are no nodes in deeper levels that can act as
+// the destination of a surrogate edge") only makes sense when contraction
+// jumps forward past the protected edge's destination incidence.
+// ProtectEdgeSide exposes the other choices for ablation.
+func (p *Policy) ProtectEdge(e graph.EdgeID, at privilege.Predicate, asSurrogate bool) error {
+	return p.ProtectEdgeSide(e, at, asSurrogate, DstSide)
+}
+
+// ProtectEdgeSide is ProtectEdge with an explicit choice of marked
+// incidence(s).
+func (p *Policy) ProtectEdgeSide(e graph.EdgeID, at privilege.Predicate, asSurrogate bool, side Side) error {
+	below := Hide
+	if asSurrogate {
+		below = Surrogate
+	}
+	switch side {
+	case DstSide:
+		return p.SetIncidenceThreshold(e.To, e, at, below)
+	case SrcSide:
+		return p.SetIncidenceThreshold(e.From, e, at, below)
+	case BothSides:
+		if err := p.SetIncidenceThreshold(e.From, e, at, below); err != nil {
+			return err
+		}
+		return p.SetIncidenceThreshold(e.To, e, at, below)
+	default:
+		return fmt.Errorf("policy: unknown side %v", side)
+	}
+}

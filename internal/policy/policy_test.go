@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/privilege"
+)
+
+func testEdge() graph.EdgeID { return graph.EdgeID{From: "c", To: "f"} }
+
+func TestDefaultIsVisible(t *testing.T) {
+	p := New(privilege.FigureOneLattice())
+	e := testEdge()
+	if got := p.Mark("c", e, "High-2"); got != Visible {
+		t.Errorf("default mark = %v, want Visible", got)
+	}
+	if got := p.Disposition(e, privilege.Public); got != ShowEdge {
+		t.Errorf("default disposition = %v, want Show", got)
+	}
+}
+
+func TestExplicitIncidenceMark(t *testing.T) {
+	p := New(privilege.FigureOneLattice())
+	e := testEdge()
+	if err := p.SetIncidence("f", e, "High-2", Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mark("f", e, "High-2"); got != Surrogate {
+		t.Errorf("mark(f,e,High-2) = %v, want Surrogate", got)
+	}
+	// Other predicates keep the default.
+	if got := p.Mark("f", e, "High-1"); got != Visible {
+		t.Errorf("mark(f,e,High-1) = %v, want Visible", got)
+	}
+	// Other endpoint unaffected.
+	if got := p.Mark("c", e, "High-2"); got != Visible {
+		t.Errorf("mark(c,e,High-2) = %v, want Visible", got)
+	}
+}
+
+func TestSetIncidenceValidation(t *testing.T) {
+	p := New(privilege.FigureOneLattice())
+	e := testEdge()
+	if err := p.SetIncidence("zzz", e, "High-2", Hide); err == nil {
+		t.Error("non-endpoint accepted")
+	}
+	if err := p.SetIncidence("c", e, "Bogus", Hide); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+	if err := p.SetIncidenceThreshold("zzz", e, "High-2", Hide); err == nil {
+		t.Error("non-endpoint threshold accepted")
+	}
+	if err := p.SetIncidenceThreshold("c", e, "Bogus", Hide); err == nil {
+		t.Error("unknown threshold predicate accepted")
+	}
+	if err := p.SetNode("c", "Bogus", Hide); err == nil {
+		t.Error("unknown node predicate accepted")
+	}
+	if err := p.SetNodeThreshold("c", "Bogus", Hide); err == nil {
+		t.Error("unknown node threshold predicate accepted")
+	}
+}
+
+func TestIncidenceThreshold(t *testing.T) {
+	l := privilege.FigureOneLattice()
+	p := New(l)
+	e := testEdge()
+	if err := p.SetIncidenceThreshold("f", e, "High-2", Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mark("f", e, "High-2"); got != Visible {
+		t.Errorf("dominating predicate should see Visible, got %v", got)
+	}
+	if got := p.Mark("f", e, "Low-2"); got != Surrogate {
+		t.Errorf("below threshold should be Surrogate, got %v", got)
+	}
+	if got := p.Mark("f", e, "High-1"); got != Surrogate {
+		t.Errorf("incomparable predicate should be Surrogate, got %v", got)
+	}
+}
+
+func TestNodeLevelMarks(t *testing.T) {
+	p := New(privilege.FigureOneLattice())
+	e1 := graph.EdgeID{From: "c", To: "f"}
+	e2 := graph.EdgeID{From: "f", To: "g"}
+	if err := p.SetNode("f", "High-2", Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mark("f", e1, "High-2") != Surrogate || p.Mark("f", e2, "High-2") != Surrogate {
+		t.Error("node-level mark should cover all incidences of f")
+	}
+	if p.Mark("c", e1, "High-2") != Visible {
+		t.Error("node-level mark should not leak to the other endpoint")
+	}
+}
+
+func TestNodeThresholdAndPrecedence(t *testing.T) {
+	p := New(privilege.FigureOneLattice())
+	e := testEdge()
+	if err := p.SetNodeThreshold("f", "High-1", Hide); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mark("f", e, "High-2"); got != Hide {
+		t.Errorf("below node threshold = %v, want Hide", got)
+	}
+	if got := p.Mark("f", e, "High-1"); got != Visible {
+		t.Errorf("at node threshold = %v, want Visible", got)
+	}
+	// Node-level explicit beats node threshold.
+	if err := p.SetNode("f", "High-2", Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mark("f", e, "High-2"); got != Surrogate {
+		t.Errorf("node explicit should win over node threshold, got %v", got)
+	}
+	// Incidence threshold beats node-level explicit.
+	if err := p.SetIncidenceThreshold("f", e, "High-1", Hide); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mark("f", e, "High-2"); got != Hide {
+		t.Errorf("incidence threshold should win over node marks, got %v", got)
+	}
+	// Incidence explicit beats everything.
+	if err := p.SetIncidence("f", e, "High-2", Visible); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mark("f", e, "High-2"); got != Visible {
+		t.Errorf("incidence explicit should win, got %v", got)
+	}
+}
+
+func TestDispositionCombination(t *testing.T) {
+	l := privilege.FigureOneLattice()
+	e := testEdge()
+	cases := []struct {
+		src, dst Marking
+		want     Disposition
+	}{
+		{Visible, Visible, ShowEdge},
+		{Visible, Surrogate, ContractEdge},
+		{Surrogate, Visible, ContractEdge},
+		{Surrogate, Surrogate, ContractEdge},
+		{Hide, Visible, DropEdge},
+		{Visible, Hide, DropEdge},
+		{Hide, Surrogate, DropEdge},
+		{Surrogate, Hide, DropEdge},
+		{Hide, Hide, DropEdge},
+	}
+	for _, c := range cases {
+		p := New(l)
+		if err := p.SetIncidence("c", e, "High-2", c.src); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetIncidence("f", e, "High-2", c.dst); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Disposition(e, "High-2"); got != c.want {
+			t.Errorf("disposition(%v,%v) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestProtectEdge(t *testing.T) {
+	l := privilege.TwoLevel()
+	e := graph.EdgeID{From: "a", To: "b"}
+
+	p := New(l)
+	if err := p.ProtectEdge(e, "Protected", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Disposition(e, privilege.Public); got != ContractEdge {
+		t.Errorf("surrogate-protected edge disposition = %v, want Contract", got)
+	}
+	if got := p.Disposition(e, "Protected"); got != ShowEdge {
+		t.Errorf("protected consumer should see the edge, got %v", got)
+	}
+
+	h := New(l)
+	if err := h.ProtectEdge(e, "Protected", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Disposition(e, privilege.Public); got != DropEdge {
+		t.Errorf("hide-protected edge disposition = %v, want Drop", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New(privilege.FigureOneLattice())
+	e := testEdge()
+	if err := p.SetIncidence("f", e, "High-2", Hide); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetNodeThreshold("f", "High-1", Surrogate); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if err := c.SetIncidence("f", e, "High-2", Visible); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mark("f", e, "High-2"); got != Hide {
+		t.Errorf("clone mutation leaked into original: %v", got)
+	}
+	if c.Lattice() != p.Lattice() {
+		t.Error("clone should share lattice")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Visible.String() != "Visible" || Hide.String() != "Hide" || Surrogate.String() != "Surrogate" {
+		t.Error("Marking strings wrong")
+	}
+	if Marking(42).String() == "" || Disposition(42).String() == "" {
+		t.Error("unknown values should still render")
+	}
+	if ShowEdge.String() != "Show" || DropEdge.String() != "Drop" || ContractEdge.String() != "Contract" {
+		t.Error("Disposition strings wrong")
+	}
+}

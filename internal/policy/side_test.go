@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/privilege"
+)
+
+func TestProtectEdgeSide(t *testing.T) {
+	l := privilege.TwoLevel()
+	e := graph.EdgeID{From: "a", To: "b"}
+	cases := []struct {
+		side     Side
+		srcBelow Marking
+		dstBelow Marking
+	}{
+		{DstSide, Visible, Surrogate},
+		{SrcSide, Surrogate, Visible},
+		{BothSides, Surrogate, Surrogate},
+	}
+	for _, c := range cases {
+		p := New(l)
+		if err := p.ProtectEdgeSide(e, "Protected", true, c.side); err != nil {
+			t.Fatalf("%v: %v", c.side, err)
+		}
+		if got := p.Mark("a", e, privilege.Public); got != c.srcBelow {
+			t.Errorf("%v: src mark = %v, want %v", c.side, got, c.srcBelow)
+		}
+		if got := p.Mark("b", e, privilege.Public); got != c.dstBelow {
+			t.Errorf("%v: dst mark = %v, want %v", c.side, got, c.dstBelow)
+		}
+		// Privileged consumers always see the edge.
+		if p.Mark("a", e, "Protected") != Visible || p.Mark("b", e, "Protected") != Visible {
+			t.Errorf("%v: protected consumer blocked", c.side)
+		}
+	}
+}
+
+func TestProtectEdgeSideHide(t *testing.T) {
+	l := privilege.TwoLevel()
+	e := graph.EdgeID{From: "a", To: "b"}
+	p := New(l)
+	if err := p.ProtectEdgeSide(e, "Protected", false, BothSides); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Disposition(e, privilege.Public); got != DropEdge {
+		t.Errorf("disposition = %v, want Drop", got)
+	}
+}
+
+func TestProtectEdgeSideValidation(t *testing.T) {
+	l := privilege.TwoLevel()
+	e := graph.EdgeID{From: "a", To: "b"}
+	p := New(l)
+	if err := p.ProtectEdgeSide(e, "Bogus", true, DstSide); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+	if err := p.ProtectEdgeSide(e, "Protected", true, Side(42)); err == nil {
+		t.Error("unknown side accepted")
+	}
+}
+
+func TestSideString(t *testing.T) {
+	if DstSide.String() != "dst" || SrcSide.String() != "src" || BothSides.String() != "both" {
+		t.Error("side strings wrong")
+	}
+	if Side(42).String() == "" {
+		t.Error("unknown side should still render")
+	}
+}

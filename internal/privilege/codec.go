@@ -1,0 +1,70 @@
+package privilege
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// FromPairs builds a frozen lattice from [dominator, dominated] pairs —
+// the wire format used by cmd/protect spec files and cmd/plusd lattice
+// files. Public is implicit; predicates appearing only as dominators
+// implicitly dominate Public.
+func FromPairs(pairs [][2]string) (*Lattice, error) {
+	l := NewLattice()
+	for i, p := range pairs {
+		if p[0] == "" || p[1] == "" {
+			return nil, fmt.Errorf("privilege: pair %d has an empty name", i)
+		}
+		if err := l.SetDominates(Predicate(p[0]), Predicate(p[1])); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.Freeze(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ParseLatticeJSON decodes a JSON array of [dominator, dominated] pairs
+// into a frozen lattice.
+func ParseLatticeJSON(data []byte) (*Lattice, error) {
+	var pairs [][2]string
+	if err := json.Unmarshal(data, &pairs); err != nil {
+		return nil, fmt.Errorf("privilege: parse lattice: %w", err)
+	}
+	return FromPairs(pairs)
+}
+
+// Pairs renders the lattice's direct dominance edges as [dominator,
+// dominated] pairs, sorted, suitable for round-tripping through
+// FromPairs. A predicate with no explicit dominance edge is emitted with
+// its implicit [p, Public] edge so the pair form is lossless.
+func (l *Lattice) Pairs() [][2]string {
+	var out [][2]string
+	for _, p := range l.Predicates() {
+		if p == Public {
+			continue
+		}
+		if len(l.below[p]) == 0 {
+			out = append(out, [2]string{string(p), string(Public)})
+			continue
+		}
+		qs := make([]Predicate, len(l.below[p]))
+		copy(qs, l.below[p])
+		sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+		for _, q := range qs {
+			out = append(out, [2]string{string(p), string(q)})
+		}
+	}
+	return out
+}
+
+// MarshalJSON encodes the lattice as its dominance pairs.
+func (l *Lattice) MarshalJSON() ([]byte, error) {
+	pairs := l.Pairs()
+	if pairs == nil {
+		pairs = [][2]string{}
+	}
+	return json.Marshal(pairs)
+}

@@ -1,0 +1,24 @@
+package privilege
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the lattice's direct dominance edges in Graphviz syntax,
+// drawn top-down from most to least privileged (the orientation of the
+// paper's Figure 1b), including the implicit Public edge of otherwise
+// unrelated predicates.
+func (l *Lattice) DOT(name string) string {
+	l.ensureFrozen()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", name)
+	for _, p := range l.Predicates() {
+		fmt.Fprintf(&b, "  %q;\n", string(p))
+	}
+	for _, pair := range l.Pairs() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", pair[0], pair[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

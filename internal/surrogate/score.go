@@ -1,0 +1,41 @@
+package surrogate
+
+import "repro/internal/graph"
+
+// CompletenessScore is the default infoScore the paper alludes to in §4.1
+// ("the value function infoScore ... can depend on completeness, semantic
+// analysis, etc. ... we can use defaults"): the fraction of the original
+// node's feature pairs the surrogate preserves exactly.
+//
+//	score = |{(k,v) ∈ original : surrogate[k] == v}| / |original|
+//
+// A surrogate identical to the original scores 1; a featureless (<null>)
+// surrogate scores 0. When the original has no features, any surrogate
+// scores 1 (there was nothing to lose). Changed values count as lost:
+// generalising <name,"heroin"> to <name,"illegal substance"> drops that
+// pair's contribution, which matches the measure's intent even though the
+// generalisation retains partial meaning — semantic scoring is the
+// provider's to supply.
+func CompletenessScore(original, surr graph.Features) float64 {
+	if len(original) == 0 {
+		return 1
+	}
+	kept := 0
+	for k, v := range original {
+		if sv, ok := surr[k]; ok && sv == v {
+			kept++
+		}
+	}
+	return float64(kept) / float64(len(original))
+}
+
+// ScoreAgainst fills in a zero InfoScore using CompletenessScore against
+// the original node's features, returning the (possibly updated)
+// surrogate. Explicit nonzero scores are left alone, so providers can
+// always override the default.
+func ScoreAgainst(original graph.Node, s Surrogate) Surrogate {
+	if s.InfoScore == 0 && !s.IsNull {
+		s.InfoScore = CompletenessScore(original.Features, s.Features)
+	}
+	return s
+}

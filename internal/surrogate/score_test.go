@@ -1,0 +1,48 @@
+package surrogate
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCompletenessScore(t *testing.T) {
+	orig := graph.Features{"name": "Joe", "phone": "123-456-7890"}
+	cases := []struct {
+		name string
+		surr graph.Features
+		want float64
+	}{
+		{"identical", graph.Features{"name": "Joe", "phone": "123-456-7890"}, 1},
+		{"dropped one", graph.Features{"name": "Joe"}, 0.5},
+		{"empty (null)", nil, 0},
+		{"changed value", graph.Features{"name": "Joe", "phone": "redacted"}, 0.5},
+		{"extra keys ignored", graph.Features{"name": "Joe", "phone": "123-456-7890", "note": "x"}, 1},
+	}
+	for _, c := range cases {
+		if got := CompletenessScore(orig, c.surr); got != c.want {
+			t.Errorf("%s: score = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := CompletenessScore(nil, graph.Features{"a": "b"}); got != 1 {
+		t.Errorf("featureless original should score 1, got %v", got)
+	}
+}
+
+func TestScoreAgainst(t *testing.T) {
+	orig := graph.Node{ID: "n", Features: graph.Features{"a": "1", "b": "2"}}
+	s := ScoreAgainst(orig, Surrogate{ID: "n'", Features: graph.Features{"a": "1"}})
+	if s.InfoScore != 0.5 {
+		t.Errorf("defaulted score = %v, want 0.5", s.InfoScore)
+	}
+	// Explicit scores are preserved.
+	s = ScoreAgainst(orig, Surrogate{ID: "n'", Features: graph.Features{"a": "1"}, InfoScore: 0.9})
+	if s.InfoScore != 0.9 {
+		t.Errorf("explicit score overwritten: %v", s.InfoScore)
+	}
+	// Null surrogates stay at zero.
+	s = ScoreAgainst(orig, Surrogate{ID: "n0", IsNull: true})
+	if s.InfoScore != 0 {
+		t.Errorf("null surrogate scored: %v", s.InfoScore)
+	}
+}

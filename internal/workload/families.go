@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Family names a synthetic graph family. The paper evaluates one family
+// (uniform random connected DAGs); the robustness extension sweeps the
+// same protection comparison across structurally different families to
+// check that "surrogating beats hiding" is not an artefact of the
+// generator.
+type Family string
+
+const (
+	// FamilyRandom is the §6.1.2 generator: a random spanning arborescence
+	// plus uniform random forward edges.
+	FamilyRandom Family = "random"
+	// FamilyLayered arranges nodes in consecutive layers with edges only
+	// between adjacent layers — the shape of staged workflow provenance.
+	FamilyLayered Family = "layered"
+	// FamilyScaleFree grows the graph by preferential attachment: each new
+	// node draws edges from existing nodes chosen proportionally to
+	// degree, yielding hubs — the shape of social and citation networks.
+	FamilyScaleFree Family = "scale-free"
+)
+
+// Families lists all supported families.
+func Families() []Family {
+	return []Family{FamilyRandom, FamilyLayered, FamilyScaleFree}
+}
+
+// GenerateFamily builds a synthetic graph of the requested family with the
+// usual §6.1.2 guarantees (directed, acyclic, weakly connected) and the
+// same protected-edge selection as GenerateSynthetic. The TargetConnected
+// tuning applies to the random family only; the structured families derive
+// their density from their own growth rules.
+func GenerateFamily(family Family, cfg SyntheticConfig) (*Synthetic, error) {
+	switch family {
+	case FamilyRandom:
+		return GenerateSynthetic(cfg)
+	case FamilyLayered:
+		return generateStructured(cfg, buildLayered)
+	case FamilyScaleFree:
+		return generateStructured(cfg, buildScaleFree)
+	default:
+		return nil, fmt.Errorf("workload: unknown family %q", family)
+	}
+}
+
+func generateStructured(cfg SyntheticConfig, build func(r *rand.Rand, n int) *graph.Graph) (*Synthetic, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := build(r, cfg.Nodes)
+
+	edges := g.Edges()
+	r.Shuffle(len(edges), func(a, b int) { edges[a], edges[b] = edges[b], edges[a] })
+	k := int(cfg.ProtectFraction*float64(len(edges)) + 0.5)
+	protected := make([]graph.EdgeID, 0, k)
+	for _, e := range edges[:k] {
+		protected = append(protected, e.ID())
+	}
+	return &Synthetic{
+		Config:        cfg,
+		Graph:         g,
+		Protected:     protected,
+		MeanConnected: meanConnectedPairs(g),
+	}, nil
+}
+
+// buildLayered distributes n nodes over ~sqrt(n) layers; every node in
+// layer i+1 receives an edge from a random node in layer i (weak
+// connectivity), and extra adjacent-layer edges bring the mean forward
+// degree to ~2.
+func buildLayered(r *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(fmt.Sprintf("n%03d", i))
+		g.AddNodeID(ids[i])
+	}
+	layers := 1
+	for layers*layers < n {
+		layers++
+	}
+	layerOf := func(i int) int { return i * layers / n }
+	byLayer := make([][]int, layers)
+	for i := 0; i < n; i++ {
+		l := layerOf(i)
+		byLayer[l] = append(byLayer[l], i)
+	}
+	// Spanning edges between adjacent layers.
+	for l := 1; l < layers; l++ {
+		if len(byLayer[l-1]) == 0 || len(byLayer[l]) == 0 {
+			continue
+		}
+		for _, i := range byLayer[l] {
+			j := byLayer[l-1][r.Intn(len(byLayer[l-1]))]
+			if !g.HasEdge(ids[j], ids[i]) {
+				g.MustAddEdge(ids[j], ids[i])
+			}
+		}
+	}
+	// Every non-final-layer node must feed the next layer, or early-layer
+	// nodes that were never sampled stay isolated.
+	for l := 0; l+1 < layers; l++ {
+		if len(byLayer[l+1]) == 0 {
+			continue
+		}
+		for _, i := range byLayer[l] {
+			if g.OutDegree(ids[i]) > 0 {
+				continue
+			}
+			j := byLayer[l+1][r.Intn(len(byLayer[l+1]))]
+			if !g.HasEdge(ids[i], ids[j]) {
+				g.MustAddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	// Densify within adjacent layers.
+	extra := n
+	for tries := 0; extra > 0 && tries < 20*n; tries++ {
+		l := 1 + r.Intn(layers-1)
+		if len(byLayer[l-1]) == 0 || len(byLayer[l]) == 0 {
+			continue
+		}
+		i := byLayer[l][r.Intn(len(byLayer[l]))]
+		j := byLayer[l-1][r.Intn(len(byLayer[l-1]))]
+		if !g.HasEdge(ids[j], ids[i]) {
+			g.MustAddEdge(ids[j], ids[i])
+			extra--
+		}
+	}
+	return g
+}
+
+// buildScaleFree grows a DAG by preferential attachment: node i (in rank
+// order, so the graph stays acyclic) receives m=2 in-edges from earlier
+// nodes sampled proportionally to their current degree (plus one, so
+// isolated early nodes stay reachable).
+func buildScaleFree(r *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(fmt.Sprintf("n%03d", i))
+		g.AddNodeID(ids[i])
+	}
+	const m = 2
+	for i := 1; i < n; i++ {
+		targets := m
+		if i < m {
+			targets = i
+		}
+		for t := 0; t < targets; t++ {
+			// Weighted sample over earlier nodes by degree + 1.
+			total := 0
+			for j := 0; j < i; j++ {
+				total += g.Degree(ids[j]) + 1
+			}
+			pick := r.Intn(total)
+			j := 0
+			for acc := 0; j < i; j++ {
+				acc += g.Degree(ids[j]) + 1
+				if pick < acc {
+					break
+				}
+			}
+			if j >= i {
+				j = i - 1
+			}
+			if !g.HasEdge(ids[j], ids[i]) {
+				g.MustAddEdge(ids[j], ids[i])
+			}
+		}
+	}
+	return g
+}

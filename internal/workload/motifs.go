@@ -1,0 +1,169 @@
+// Package workload builds the evaluation inputs of §6: the seven classic
+// graph motifs of Figure 6 (star, chain, lattice, diamond, tree, inverted
+// tree, bipartite), each with its designated protected edge, and the
+// 200-node synthetic graphs of §6.1.2 with tunable connectedness and
+// protection fraction.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+	"repro/internal/surrogate"
+)
+
+// ProtectedPredicate is the single sensitive privilege-predicate used by
+// the evaluation workloads (a two-level lattice: Protected above Public).
+const ProtectedPredicate privilege.Predicate = "Protected"
+
+// Motif is one of the Figure 6 graphs: a 4–5 node directed graph and the
+// edge chosen for protection (the dashed edge of the figure).
+type Motif struct {
+	Name      string
+	Graph     *graph.Graph
+	Protected graph.EdgeID
+}
+
+func build(name string, protected graph.EdgeID, nodes []graph.NodeID, edges [][2]graph.NodeID) Motif {
+	g := graph.New()
+	for _, id := range nodes {
+		g.AddNodeID(id)
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	if _, ok := g.EdgeByID(protected); !ok {
+		panic(fmt.Sprintf("workload: motif %s protects missing edge %s", name, protected))
+	}
+	return Motif{Name: name, Graph: g, Protected: protected}
+}
+
+// Motifs returns the seven Figure 6 motifs in the paper's order. The
+// figure does not dictate edge directions, so each motif is oriented to
+// exhibit the behaviour §6.2 reports: a surrogate edge is possible for all
+// motifs except Bipartite (no nodes in deeper levels past the protected
+// edge's destination) and is redundant for Lattice (the contraction target
+// is already a direct edge).
+func Motifs() []Motif {
+	return []Motif{
+		// Star: hub m with two inputs and two outputs; protecting a->m
+		// contracts to a->x, a->y.
+		build("Star",
+			graph.EdgeID{From: "a", To: "m"},
+			[]graph.NodeID{"a", "b", "m", "x", "y"},
+			[][2]graph.NodeID{{"a", "m"}, {"b", "m"}, {"m", "x"}, {"m", "y"}}),
+		// Chain: protecting the first link contracts to a->c.
+		build("Chain",
+			graph.EdgeID{From: "a", To: "b"},
+			[]graph.NodeID{"a", "b", "c", "d", "e"},
+			[][2]graph.NodeID{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}}),
+		// Lattice: a->d already exists, so the contraction of a->b is
+		// redundant and surrogating equals hiding (§6.2).
+		build("Lattice",
+			graph.EdgeID{From: "a", To: "b"},
+			[]graph.NodeID{"a", "b", "c", "d", "e"},
+			[][2]graph.NodeID{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "d"}, {"c", "d"}, {"d", "e"}}),
+		// Diamond: two parallel branches re-converging.
+		build("Diamond",
+			graph.EdgeID{From: "a", To: "b"},
+			[]graph.NodeID{"a", "b", "c", "d"},
+			[][2]graph.NodeID{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}}),
+		// Tree: root fanning out; protecting r->a orphans a subtree when
+		// hiding but contracts to r->c, r->d when surrogating.
+		build("Tree",
+			graph.EdgeID{From: "r", To: "a"},
+			[]graph.NodeID{"r", "a", "b", "c", "d"},
+			[][2]graph.NodeID{{"r", "a"}, {"r", "b"}, {"a", "c"}, {"a", "d"}}),
+		// Inverted tree: leaves converging on a root.
+		build("InvertedTree",
+			graph.EdgeID{From: "c", To: "a"},
+			[]graph.NodeID{"r", "a", "b", "c", "d"},
+			[][2]graph.NodeID{{"c", "a"}, {"d", "a"}, {"a", "r"}, {"b", "r"}}),
+		// Bipartite: two levels only; the protected edge's destination has
+		// no successors, so no surrogate edge can be drawn (§6.2).
+		build("Bipartite",
+			graph.EdgeID{From: "a", To: "x"},
+			[]graph.NodeID{"a", "b", "x", "y"},
+			[][2]graph.NodeID{{"a", "x"}, {"a", "y"}, {"b", "x"}, {"b", "y"}}),
+	}
+}
+
+// ProtectSpec assembles an account.Spec that protects the given edges of g
+// for consumers below ProtectedPredicate. With asSurrogate the protected
+// edges are marked [Visible, Surrogate] (contraction); otherwise
+// [Visible, Hide] (the show/hide baseline). Nodes stay public: §6
+// evaluates edge surrogating only.
+func ProtectSpec(g *graph.Graph, protected []graph.EdgeID, asSurrogate bool) (*account.Spec, error) {
+	return ProtectSpecSide(g, protected, asSurrogate, policy.DstSide)
+}
+
+// ProtectSpecSide is ProtectSpec with an explicit choice of which
+// incidence the protection marks — the ablation knob for the
+// destination-side convention DESIGN.md argues for.
+func ProtectSpecSide(g *graph.Graph, protected []graph.EdgeID, asSurrogate bool, side policy.Side) (*account.Spec, error) {
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	for _, e := range protected {
+		if _, ok := g.EdgeByID(e); !ok {
+			return nil, fmt.Errorf("workload: protected edge %s not in graph", e)
+		}
+		if err := pol.ProtectEdgeSide(e, ProtectedPredicate, asSurrogate, side); err != nil {
+			return nil, err
+		}
+	}
+	return &account.Spec{
+		Graph:      g,
+		Labeling:   lb,
+		Policy:     pol,
+		Surrogates: surrogate.NewRegistry(lb),
+	}, nil
+}
+
+// NodeProtectSpec assembles a spec in which the given nodes are sensitive
+// (lowest = ProtectedPredicate) while their incidences stay Visible, the
+// Figure 2a style: edges attach to whatever stands in for the node. When
+// nullDefaults is set the registry falls back to featureless <null>
+// surrogates, so the sensitive nodes remain as connected placeholders;
+// without it they vanish and their paths are summarised by surrogate
+// edges. This is the workload behind the null-surrogate ablation: the
+// paper argues (§4.1) that even a null surrogate "may still play an
+// important part in improving the connectivity of the protected account".
+func NodeProtectSpec(g *graph.Graph, protected []graph.NodeID, nullDefaults bool) (*account.Spec, error) {
+	lat := privilege.TwoLevel()
+	lb := privilege.NewLabeling(lat)
+	pol := policy.New(lat)
+	reg := surrogate.NewRegistry(lb)
+	if nullDefaults {
+		reg.EnableNullDefault()
+	}
+	for _, id := range protected {
+		if !g.HasNode(id) {
+			return nil, fmt.Errorf("workload: protected node %s not in graph", id)
+		}
+		if err := lb.SetNode(id, ProtectedPredicate); err != nil {
+			return nil, err
+		}
+	}
+	return &account.Spec{Graph: g, Labeling: lb, Policy: pol, Surrogates: reg}, nil
+}
+
+// SelectNodes deterministically picks a fraction of g's nodes for
+// protection.
+func SelectNodes(g *graph.Graph, fraction float64, seed int64) []graph.NodeID {
+	ids := g.Nodes()
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	k := int(fraction*float64(len(ids)) + 0.5)
+	if k > len(ids) {
+		k = len(ids)
+	}
+	picked := append([]graph.NodeID(nil), ids[:k]...)
+	sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+	return picked
+}
