@@ -253,16 +253,31 @@ func BenchmarkGenerateForSet(b *testing.B) {
 	})
 }
 
-// plusFixture populates a store with a 200-node provenance DAG for the
-// substrate micro-benches.
-func plusFixture(b *testing.B) (*plus.Store, string) {
+// benchBackends enumerates the storage engines the substrate benches
+// compare: the durable log and the sharded in-memory backend.
+func benchBackends(b *testing.B) map[string]func() plus.Backend {
 	b.Helper()
-	dir := b.TempDir()
-	store, err := plus.Open(dir+"/bench.log", plus.Options{})
-	if err != nil {
-		b.Fatal(err)
+	return map[string]func() plus.Backend{
+		"log": func() plus.Backend {
+			store, err := plus.Open(b.TempDir()+"/bench.log", plus.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { store.Close() })
+			return store
+		},
+		"mem": func() plus.Backend {
+			m := plus.NewMemBackend(0)
+			b.Cleanup(func() { m.Close() })
+			return m
+		},
 	}
-	b.Cleanup(func() { store.Close() })
+}
+
+// populateBackend fills any backend with a 200-node provenance DAG and
+// returns the deepest node.
+func populateBackend(b *testing.B, store plus.Backend) string {
+	b.Helper()
 	syn, err := workload.GenerateSynthetic(workload.SyntheticConfig{
 		Nodes: 200, TargetConnected: 50, ProtectFraction: 0, Seed: 77,
 	})
@@ -288,7 +303,20 @@ func plusFixture(b *testing.B) (*plus.Store, string) {
 			b.Fatal(err)
 		}
 	}
-	return store, string(ids[len(ids)-1])
+	return string(ids[len(ids)-1])
+}
+
+// plusFixture populates a store with a 200-node provenance DAG for the
+// substrate micro-benches.
+func plusFixture(b *testing.B) (*plus.Store, string) {
+	b.Helper()
+	dir := b.TempDir()
+	store, err := plus.Open(dir+"/bench.log", plus.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	return store, populateBackend(b, store)
 }
 
 // BenchmarkStoreAppend measures raw object append throughput.
@@ -336,6 +364,106 @@ func BenchmarkLineageQueryCached(b *testing.B) {
 		if _, err := engine.Lineage(req); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBackendAppend compares raw object append throughput across
+// storage backends.
+func BenchmarkBackendAppend(b *testing.B) {
+	for name, open := range benchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			store := open()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := plus.Object{ID: fmt.Sprintf("o%08d", i), Kind: plus.Data, Name: "benchmark object"}
+				if err := store.PutObject(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBackendLineage compares one protected full-ancestry lineage
+// query across storage backends.
+func BenchmarkBackendLineage(b *testing.B) {
+	for name, open := range benchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			store := open()
+			sink := populateBackend(b, store)
+			engine := plus.NewEngine(store, privilege.TwoLevel())
+			req := plus.Request{Start: sink, Direction: graph.Backward, Viewer: privilege.Public}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Lineage(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLineageParallel measures concurrent lineage reads through the
+// snapshot engine with b.RunParallel: because queries traverse immutable
+// snapshots instead of holding the store's read lock, throughput should
+// scale with readers (raise -cpu to see the curve) instead of
+// serializing on one mutex.
+func BenchmarkLineageParallel(b *testing.B) {
+	for name, open := range benchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			store := open()
+			sink := populateBackend(b, store)
+			engine := plus.NewEngine(store, privilege.TwoLevel())
+			req := plus.Request{Start: sink, Direction: graph.Backward, Viewer: privilege.Public}
+			// Warm the snapshot cache so every iteration measures
+			// traversal, not the one-off clone.
+			if _, err := engine.Lineage(req); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := engine.Lineage(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSnapshot measures the cost of taking a snapshot: the cached
+// fast path (steady read-heavy state) versus a fresh clone after every
+// write.
+func BenchmarkSnapshot(b *testing.B) {
+	for name, open := range benchBackends(b) {
+		b.Run(name+"/cached", func(b *testing.B) {
+			store := open()
+			populateBackend(b, store)
+			if _, err := store.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/afterWrite", func(b *testing.B) {
+			store := open()
+			populateBackend(b, store)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := plus.Object{ID: fmt.Sprintf("w%08d", i), Kind: plus.Data, Name: "w"}
+				if err := store.PutObject(o); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := store.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

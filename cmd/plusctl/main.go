@@ -12,6 +12,7 @@
 //	get ID
 //	lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]
 //	stats
+//	healthz
 //	export-opm
 //	import-opm [-file doc.json]
 package main
@@ -26,7 +27,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: plusctl [-server URL] <put-object|put-edge|put-surrogate|get|lineage|stats|export-opm|import-opm> [args]")
+	fmt.Fprintln(os.Stderr, "usage: plusctl [-server URL] <put-object|put-edge|put-surrogate|get|lineage|stats|healthz|export-opm|import-opm> [args]")
 	os.Exit(2)
 }
 
@@ -119,6 +120,12 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 			return err
 		}
 		return printJSON(s)
+	case "healthz":
+		h, err := c.Healthz()
+		if err != nil {
+			return err
+		}
+		return printJSON(h)
 	case "export-opm":
 		return c.ExportOPM(os.Stdout)
 	case "import-opm":

@@ -35,6 +35,7 @@ func TestExecuteWorkflow(t *testing.T) {
 		{"lineage", "-start", "out", "-direction", "ancestors", "-viewer", "Public", "-mode", "surrogate"},
 		{"lineage", "-start", "out", "-depth", "1"},
 		{"stats"},
+		{"healthz"},
 	}
 	for _, s := range steps {
 		if err := execute(c, s[0], s[1:]); err != nil {

@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	plusd -db /var/lib/plus.log -addr :7337 [-lattice lattice.json] [-sync]
+//	plusd -db /var/lib/plus.log -addr :7337 [-backend log|mem] [-lattice lattice.json] [-sync]
+//
+// The -backend flag selects the storage engine: "log" (default) is the
+// durable CRC-guarded append-only log at -db; "mem" is the sharded
+// in-memory backend for read-heavy serving (contents die with the
+// process; -db and -sync are ignored, -shards sets the partition count).
 //
 // The lattice file is a JSON array of [dominator, dominated] predicate
 // pairs, e.g. [["High-1","Low-2"],["High-2","Low-2"]]; "Public" is the
@@ -37,11 +42,25 @@ func loadLattice(path string) (*privilege.Lattice, error) {
 	return lat, nil
 }
 
+// openBackend builds the storage engine the -backend flag selected.
+func openBackend(kind, db string, shards int, sync bool) (plus.Backend, error) {
+	switch kind {
+	case "log":
+		return plus.Open(db, plus.Options{Sync: sync})
+	case "mem":
+		return plus.NewMemBackend(shards), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want log or mem)", kind)
+	}
+}
+
 func run() error {
 	addr := flag.String("addr", ":7337", "listen address")
-	db := flag.String("db", "plus.log", "path to the store log file")
+	db := flag.String("db", "plus.log", "path to the store log file (log backend)")
+	backendKind := flag.String("backend", "log", "storage backend: log (durable) or mem (sharded in-memory)")
+	shards := flag.Int("shards", 0, "mem backend shard count (0 = default)")
 	latticePath := flag.String("lattice", "", "path to a JSON lattice spec (default: two-level)")
-	sync := flag.Bool("sync", false, "fsync every append")
+	sync := flag.Bool("sync", false, "fsync every append (log backend)")
 	cache := flag.Bool("cache", true, "memoise lineage answers until the store changes")
 	flag.Parse()
 
@@ -49,21 +68,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	store, err := plus.Open(*db, plus.Options{Sync: *sync})
+	backend, err := openBackend(*backendKind, *db, *shards, *sync)
 	if err != nil {
 		return err
 	}
-	defer store.Close()
+	defer backend.Close()
 
-	engine := plus.NewEngine(store, lat)
+	engine := plus.NewEngine(backend, lat)
 	var srv *plus.Server
 	if *cache {
 		srv = plus.NewCachedServer(plus.NewCachedEngine(engine))
 	} else {
 		srv = plus.NewServer(engine)
 	}
-	log.Printf("plusd: serving %s on %s (%d objects, %d edges, cache=%v)",
-		*db, *addr, store.NumObjects(), store.NumEdges(), *cache)
+	log.Printf("plusd: serving %s backend on %s (%d objects, %d edges, cache=%v)",
+		*backendKind, *addr, backend.NumObjects(), backend.NumEdges(), *cache)
 	return http.ListenAndServe(*addr, srv)
 }
 

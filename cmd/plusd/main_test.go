@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/plus"
 	"repro/internal/privilege"
 )
 
@@ -29,6 +30,34 @@ func TestLoadLatticeFromFile(t *testing.T) {
 	}
 	if !lat.Dominates("High-1", "Low-2") || !lat.Incomparable("High-1", "High-2") {
 		t.Error("lattice file not honoured")
+	}
+}
+
+func TestOpenBackendKinds(t *testing.T) {
+	logB, err := openBackend("log", filepath.Join(t.TempDir(), "plus.log"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logB.Close()
+	if _, ok := logB.(*plus.LogBackend); !ok {
+		t.Errorf("log backend = %T", logB)
+	}
+
+	memB, err := openBackend("mem", "", 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memB.Close()
+	mb, ok := memB.(*plus.MemBackend)
+	if !ok {
+		t.Fatalf("mem backend = %T", memB)
+	}
+	if mb.NumShards() != 8 {
+		t.Errorf("shards = %d, want 8", mb.NumShards())
+	}
+
+	if _, err := openBackend("banana", "", 0, false); err == nil {
+		t.Error("unknown backend accepted")
 	}
 }
 

@@ -13,12 +13,14 @@
 //	internal/surrogate  surrogate-node registry with infoScores
 //	internal/account    protected-account generation and verification
 //	internal/measure    path/node utility and opacity
-//	internal/plus       the PLUS provenance store, query engine and HTTP API
+//	internal/plus       the PLUS substrate: pluggable storage backends,
+//	                    snapshot-isolated lineage engine and HTTP API
 //	internal/workload   evaluation motifs and synthetic graph generator
 //	internal/eval       regeneration of every table and figure
-//	internal/core       high-level facade (builder, Protect, Compare)
+//	internal/core       high-level facade (builder, Protect, Compare,
+//	                    Provenance)
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// See README.md for a tour, how to run the plusd server and plusctl
+// client, and the storage-backend options. The benchmarks in
 // bench_test.go regenerate the workload behind each table and figure.
 package repro

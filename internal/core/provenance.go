@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+// Provenance is the facade over the PLUS substrate: one handle bundling a
+// storage backend, a privilege lattice and a cache-fronted,
+// snapshot-isolated lineage engine, so callers get "store records, ask
+// protected lineage questions, score the answers" without wiring the
+// layers themselves.
+type Provenance struct {
+	backend plus.Backend
+	engine  *plus.CachedEngine
+	lattice *privilege.Lattice
+}
+
+// ProvenanceOptions configure OpenProvenance.
+type ProvenanceOptions struct {
+	// Path is the durable log file. Empty selects the sharded in-memory
+	// backend instead (contents die with the process).
+	Path string
+	// Shards sets the in-memory backend's partition count (0 = default);
+	// ignored for the durable backend.
+	Shards int
+	// Sync makes every durable append fsync before returning.
+	Sync bool
+	// Lattice is the privilege lattice the store's Lowest nicknames refer
+	// to; nil means the two-level Protected/Public lattice.
+	Lattice *privilege.Lattice
+}
+
+// OpenProvenance opens (or creates) a provenance service over the backend
+// the options select.
+func OpenProvenance(opts ProvenanceOptions) (*Provenance, error) {
+	lat := opts.Lattice
+	if lat == nil {
+		lat = privilege.TwoLevel()
+	}
+	var (
+		backend plus.Backend
+		err     error
+	)
+	if opts.Path != "" {
+		backend, err = plus.Open(opts.Path, plus.Options{Sync: opts.Sync})
+		if err != nil {
+			return nil, fmt.Errorf("core: open provenance: %w", err)
+		}
+	} else {
+		backend = plus.NewMemBackend(opts.Shards)
+	}
+	return NewProvenance(backend, lat), nil
+}
+
+// NewProvenance wraps an already-open backend; Close still closes it.
+func NewProvenance(backend plus.Backend, lat *privilege.Lattice) *Provenance {
+	if lat == nil {
+		lat = privilege.TwoLevel()
+	}
+	return &Provenance{
+		backend: backend,
+		engine:  plus.NewCachedEngine(plus.NewEngine(backend, lat)),
+		lattice: lat,
+	}
+}
+
+// Backend exposes the underlying storage backend for ingestion.
+func (p *Provenance) Backend() plus.Backend { return p.backend }
+
+// Lattice returns the service's privilege lattice.
+func (p *Provenance) Lattice() *privilege.Lattice { return p.lattice }
+
+// Lineage answers one lineage query through the invalidating cache.
+func (p *Provenance) Lineage(req plus.Request) (*plus.Result, error) {
+	return p.engine.Lineage(req)
+}
+
+// Server wires an HTTP API around the service's engine.
+func (p *Provenance) Server() *plus.Server {
+	return plus.NewCachedServer(p.engine)
+}
+
+// CompareLineage fetches the full ancestry of start and protects it both
+// ways (hide and surrogate) for the viewer, returning the paper's
+// comparison measures. This is the "what would each strategy cost this
+// consumer" question asked directly of stored provenance.
+func (p *Provenance) CompareLineage(start string, viewer privilege.Predicate) (*Comparison, error) {
+	if viewer == "" {
+		viewer = privilege.Public
+	}
+	res, err := p.engine.Lineage(plus.Request{
+		Start:     start,
+		Direction: graph.Backward,
+		Viewer:    viewer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Compare(res.Spec, viewer)
+}
+
+// Close releases the backend.
+func (p *Provenance) Close() error { return p.backend.Close() }

@@ -1,0 +1,162 @@
+package plus
+
+import "fmt"
+
+// This file defines the storage seam of the PLUS substrate. The original
+// prototype was "one file, one lock": a single map-backed log index behind
+// a global RWMutex that every lineage query held for its whole closure
+// walk. Backend extracts that contract into an interface so durable
+// (LogBackend) and serving-optimised (MemBackend) engines are
+// interchangeable, and Snapshot gives queries an immutable,
+// revision-stamped view of the store so readers never contend with
+// writers.
+
+// Backend is the storage contract the query engine, HTTP server and
+// facade layers program against. All methods must be safe for concurrent
+// use. Mutations must be atomic per call and must bump Revision exactly
+// once per applied record, so equal revisions imply identical contents
+// (within one process).
+type Backend interface {
+	// PutObject stores (or replaces) a provenance object.
+	PutObject(o Object) error
+	// PutEdge stores a provenance edge; both endpoints must exist.
+	PutEdge(e Edge) error
+	// PutSurrogate stores a surrogate version of an existing object.
+	PutSurrogate(sp SurrogateSpec) error
+	// Apply stores a whole batch with one lock acquisition; validation
+	// failures must leave the backend untouched.
+	Apply(b Batch) error
+
+	// GetObject fetches one object by id (ErrNotFound if unknown).
+	GetObject(id string) (Object, error)
+	// History returns the superseded versions of an object, oldest first.
+	History(id string) []Object
+	// Objects returns every live object (unspecified order).
+	Objects() []Object
+	// EdgesFrom / EdgesTo return an object's adjacency in insertion order.
+	EdgesFrom(id string) []Edge
+	EdgesTo(id string) []Edge
+	// SurrogatesOf returns the stored surrogate specs for an object.
+	SurrogatesOf(id string) []SurrogateSpec
+
+	// NumObjects / NumEdges report live record counts.
+	NumObjects() int
+	NumEdges() int
+	// Revision returns a counter that increases with every stored record.
+	Revision() uint64
+	// Snapshot returns an immutable, revision-stamped view of the whole
+	// store. The returned snapshot is stable forever: later writes bump
+	// the revision and surface only in later snapshots. Implementations
+	// cache the clone per revision, so read-heavy workloads pay for at
+	// most one clone per intervening write.
+	Snapshot() (*Snapshot, error)
+
+	// Size reports the durable footprint in bytes (0 for volatile
+	// backends).
+	Size() int64
+	// Ping reports whether the backend is open and usable.
+	Ping() error
+	// Close releases the backend; subsequent mutations and reads fail
+	// with ErrClosed.
+	Close() error
+}
+
+// Snapshot is an immutable point-in-time view of a backend. Its maps are
+// never mutated after construction: map headers are cloned from the live
+// index while slice values share backing arrays with it, which is safe
+// because the live index only ever appends (either growing in place past
+// this snapshot's length, which readers here never look at, or
+// reallocating).
+type Snapshot struct {
+	rev        uint64
+	objects    map[string]Object
+	out        map[string][]Edge
+	in         map[string][]Edge
+	surrogates map[string][]SurrogateSpec
+}
+
+// Revision reports the backend revision this snapshot was taken at.
+func (sn *Snapshot) Revision() uint64 { return sn.rev }
+
+// NumObjects reports how many objects the snapshot holds.
+func (sn *Snapshot) NumObjects() int { return len(sn.objects) }
+
+// Object looks up one object.
+func (sn *Snapshot) Object(id string) (Object, bool) {
+	o, ok := sn.objects[id]
+	return o, ok
+}
+
+// Out returns the outgoing edges of an object. The slice is shared with
+// the snapshot and must not be mutated.
+func (sn *Snapshot) Out(id string) []Edge { return sn.out[id] }
+
+// In returns the incoming edges of an object. The slice is shared with
+// the snapshot and must not be mutated.
+func (sn *Snapshot) In(id string) []Edge { return sn.in[id] }
+
+// Surrogates returns the surrogate specs of an object. The slice is
+// shared with the snapshot and must not be mutated.
+func (sn *Snapshot) Surrogates(id string) []SurrogateSpec { return sn.surrogates[id] }
+
+// cloneIndex builds a Snapshot from live index maps. Callers must hold
+// whatever lock makes the maps stable for the duration.
+func cloneIndex(rev uint64,
+	objects map[string]Object,
+	out, in map[string][]Edge,
+	surrogates map[string][]SurrogateSpec) *Snapshot {
+	sn := &Snapshot{
+		rev:        rev,
+		objects:    make(map[string]Object, len(objects)),
+		out:        make(map[string][]Edge, len(out)),
+		in:         make(map[string][]Edge, len(in)),
+		surrogates: make(map[string][]SurrogateSpec, len(surrogates)),
+	}
+	sn.mergeInto(objects, out, in, surrogates)
+	return sn
+}
+
+// mergeInto copies one shard's live maps into an under-construction
+// snapshot (used by sharded backends whose index is partitioned).
+func (sn *Snapshot) mergeInto(objects map[string]Object,
+	out, in map[string][]Edge,
+	surrogates map[string][]SurrogateSpec) {
+	for id, o := range objects {
+		sn.objects[id] = o
+	}
+	for id, es := range out {
+		sn.out[id] = es
+	}
+	for id, es := range in {
+		sn.in[id] = es
+	}
+	for id, sps := range surrogates {
+		sn.surrogates[id] = sps
+	}
+}
+
+// validateObject is the shared object-shape check every backend applies
+// before accepting a record.
+func validateObject(o Object) error {
+	if o.ID == "" {
+		return fmt.Errorf("plus: object with empty id")
+	}
+	if o.Kind != Data && o.Kind != Invocation {
+		return fmt.Errorf("plus: object %s has unknown kind %q", o.ID, o.Kind)
+	}
+	if o.Protect != "" && o.Protect != string(ModeHide) && o.Protect != string(ModeSurrogate) {
+		return fmt.Errorf("plus: object %s has unknown protect mode %q", o.ID, o.Protect)
+	}
+	return nil
+}
+
+// validateSurrogate is the shared surrogate-shape check.
+func validateSurrogate(sp SurrogateSpec) error {
+	if sp.ID == "" || sp.ID == sp.ForID {
+		return fmt.Errorf("plus: surrogate for %s has bad id %q", sp.ForID, sp.ID)
+	}
+	if sp.InfoScore < 0 || sp.InfoScore > 1 {
+		return fmt.Errorf("plus: surrogate %s infoScore %v out of [0,1]", sp.ID, sp.InfoScore)
+	}
+	return nil
+}

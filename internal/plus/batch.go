@@ -22,22 +22,13 @@ func (b *Batch) Len() int {
 	return len(b.Objects) + len(b.Edges) + len(b.Surrogates)
 }
 
-// Apply validates the whole batch against the store's current state (plus
-// the batch's own objects), then appends every record with a single
-// buffered write. Validation failures leave the store untouched. A crash
-// mid-write leaves a torn tail that replay truncates, so a batch is
-// atomic-on-recovery only up to the records that fully made it to disk —
-// the same guarantee individual appends give.
-func (s *Store) Apply(b Batch) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-
-	// Validate against a view that includes the batch's own objects.
+// validate checks the whole batch against a backend's current state
+// (seen through the two callbacks) plus the batch's own objects. It is
+// shared by every Backend implementation; callers hold whatever locks
+// make the callbacks stable.
+func (b *Batch) validate(stored func(id string) bool, hasEdge func(from, to string) bool) error {
 	have := func(id string) bool {
-		if _, ok := s.objects[id]; ok {
+		if stored(id) {
 			return true
 		}
 		for _, o := range b.Objects {
@@ -48,14 +39,8 @@ func (s *Store) Apply(b Batch) error {
 		return false
 	}
 	for _, o := range b.Objects {
-		if o.ID == "" {
-			return fmt.Errorf("plus: batch object with empty id")
-		}
-		if o.Kind != Data && o.Kind != Invocation {
-			return fmt.Errorf("plus: batch object %s has unknown kind %q", o.ID, o.Kind)
-		}
-		if o.Protect != "" && o.Protect != string(ModeHide) && o.Protect != string(ModeSurrogate) {
-			return fmt.Errorf("plus: batch object %s has unknown protect mode %q", o.ID, o.Protect)
+		if err := validateObject(o); err != nil {
+			return fmt.Errorf("plus: batch: %w", err)
 		}
 	}
 	batchEdges := map[[2]string]bool{}
@@ -71,22 +56,49 @@ func (s *Store) Apply(b Batch) error {
 			return fmt.Errorf("plus: batch duplicate edge %s->%s", e.From, e.To)
 		}
 		batchEdges[key] = true
-		for _, prev := range s.out[e.From] {
-			if prev.To == e.To {
-				return fmt.Errorf("plus: batch edge %s->%s already stored", e.From, e.To)
-			}
+		if hasEdge(e.From, e.To) {
+			return fmt.Errorf("plus: batch edge %s->%s already stored", e.From, e.To)
 		}
 	}
 	for _, sp := range b.Surrogates {
-		if sp.ID == "" || sp.ID == sp.ForID {
-			return fmt.Errorf("plus: batch surrogate for %s has bad id %q", sp.ForID, sp.ID)
+		if err := validateSurrogate(sp); err != nil {
+			return fmt.Errorf("plus: batch: %w", err)
 		}
 		if !have(sp.ForID) {
 			return fmt.Errorf("plus: batch surrogate for missing object %s", sp.ForID)
 		}
-		if sp.InfoScore < 0 || sp.InfoScore > 1 {
-			return fmt.Errorf("plus: batch surrogate %s infoScore %v out of [0,1]", sp.ID, sp.InfoScore)
-		}
+	}
+	return nil
+}
+
+// Apply validates the whole batch against the store's current state (plus
+// the batch's own objects), then appends every record with a single
+// buffered write. Validation failures leave the store untouched. A crash
+// mid-write leaves a torn tail that replay truncates, so a batch is
+// atomic-on-recovery only up to the records that fully made it to disk —
+// the same guarantee individual appends give.
+func (s *LogBackend) Apply(b Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	err := b.validate(
+		func(id string) bool {
+			_, ok := s.objects[id]
+			return ok
+		},
+		func(from, to string) bool {
+			for _, prev := range s.out[from] {
+				if prev.To == to {
+					return true
+				}
+			}
+			return false
+		},
+	)
+	if err != nil {
+		return err
 	}
 
 	// Encode everything into one buffer, then write once.

@@ -47,6 +47,10 @@ func NewCachedEngine(engine *Engine) *CachedEngine {
 // callers must treat answers as read-only (which they are over HTTP, where
 // each answer is serialised).
 func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
+	// A closed backend must not keep answering out of the cache.
+	if err := ce.store.Ping(); err != nil {
+		return nil, err
+	}
 	if req.Viewer == "" {
 		req.Viewer = privilege.Public
 	}

@@ -124,6 +124,23 @@ func (c *Client) Stats() (StatsResponse, error) {
 	return s, err
 }
 
+// Healthz probes the server's readiness endpoint. Unlike the other
+// getters it decodes the body even on a 503, so callers see the
+// structured "unavailable" answer (with its revision) rather than a bare
+// status error.
+func (c *Client) Healthz() (HealthzResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return HealthzResponse{}, fmt.Errorf("plus client: %w", err)
+	}
+	defer resp.Body.Close()
+	var h HealthzResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&h); derr == nil && h.Status != "" {
+		return h, nil
+	}
+	return HealthzResponse{}, fmt.Errorf("plus client: %s", resp.Status)
+}
+
 // ExportOPM streams the server's OPM document to w.
 func (c *Client) ExportOPM(w io.Writer) error {
 	resp, err := c.http.Get(c.base + "/v1/opm")

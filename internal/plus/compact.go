@@ -14,10 +14,10 @@ import (
 // superseded versions) plus every edge and surrogate, then atomically
 // swaps it in. The store stays usable afterwards; readers and writers are
 // blocked for the duration.
-func (s *Store) Compact() error {
+func (s *LogBackend) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 
@@ -105,21 +105,21 @@ func (s *Store) Compact() error {
 }
 
 // EdgesFrom returns the outgoing edges of an object, in insertion order.
-func (s *Store) EdgesFrom(id string) []Edge {
+func (s *LogBackend) EdgesFrom(id string) []Edge {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]Edge(nil), s.out[id]...)
 }
 
 // EdgesTo returns the incoming edges of an object, in insertion order.
-func (s *Store) EdgesTo(id string) []Edge {
+func (s *LogBackend) EdgesTo(id string) []Edge {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]Edge(nil), s.in[id]...)
 }
 
 // SurrogatesOf returns the stored surrogate specs for an object.
-func (s *Store) SurrogatesOf(id string) []SurrogateSpec {
+func (s *LogBackend) SurrogatesOf(id string) []SurrogateSpec {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]SurrogateSpec(nil), s.surrogates[id]...)

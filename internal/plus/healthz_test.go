@@ -1,0 +1,107 @@
+package plus
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/privilege"
+)
+
+func TestHealthzHandler(t *testing.T) {
+	s, _ := openTemp(t)
+	putChain(t, s, "a", "b", "c")
+	srv := httptest.NewServer(NewServer(NewEngine(s, privilege.TwoLevel())))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var h HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Objects != 3 || h.Edges != 2 {
+		t.Errorf("healthz = %+v, want ok/3/2", h)
+	}
+	if h.Revision != s.Revision() {
+		t.Errorf("healthz revision = %d, want %d", h.Revision, s.Revision())
+	}
+
+	// Method discipline.
+	post, err := http.Post(srv.URL+"/v1/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST healthz status = %d, want 405", post.StatusCode)
+	}
+
+	// A closed backend reports unavailable with 503.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("closed healthz status = %d, want 503", resp2.StatusCode)
+	}
+	var h2 HealthzResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&h2); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Status != "unavailable" {
+		t.Errorf("closed healthz = %+v", h2)
+	}
+	// The client surfaces the structured unavailable answer, not a bare
+	// status error.
+	h3, err := NewClient(srv.URL).Healthz()
+	if err != nil {
+		t.Fatalf("client healthz on closed backend: %v", err)
+	}
+	if h3.Status != "unavailable" {
+		t.Errorf("client healthz = %+v, want unavailable", h3)
+	}
+}
+
+func TestHealthzClient(t *testing.T) {
+	c, s := testServer(t)
+	loadFixture(t, c)
+	h, err := c.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Objects != s.NumObjects() || h.Edges != s.NumEdges() {
+		t.Errorf("client healthz = %+v", h)
+	}
+}
+
+// TestHealthzMemBackend exercises the probe over the volatile backend,
+// where Size is 0 but counts and revision still flow.
+func TestHealthzMemBackend(t *testing.T) {
+	m := NewMemBackend(0)
+	t.Cleanup(func() { m.Close() })
+	srv := httptest.NewServer(NewServer(NewEngine(m, privilege.TwoLevel())))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	if err := c.PutObject(Object{ID: "x", Kind: Data, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Objects != 1 || h.Revision != 1 {
+		t.Errorf("mem healthz = %+v", h)
+	}
+}

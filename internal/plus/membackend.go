@@ -1,0 +1,364 @@
+package plus
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// MemBackend is the volatile, serving-optimised storage engine: the index
+// is hash-partitioned into shards with per-shard RWMutexes, so point
+// reads and writes on different objects proceed concurrently instead of
+// funnelling through one global lock. It offers the same contract as
+// LogBackend minus durability (Size is 0 and contents die with the
+// process), and the same snapshot isolation: lineage queries run over
+// immutable revision-stamped clones. It implements Backend.
+//
+// Sharding invariants: an object, its history, its outgoing edges and its
+// surrogates live in the shard of its id; an edge's incoming copy lives
+// in the shard of its To id. Cross-shard operations (PutEdge, Apply,
+// Snapshot) take the shards they need in index order, so lock ordering is
+// global and deadlock-free.
+type MemBackend struct {
+	shards []memShard
+	seed   maphash.Seed
+
+	revision atomic.Uint64
+	edges    atomic.Int64
+	snap     atomic.Pointer[Snapshot]
+	closed   atomic.Bool
+}
+
+type memShard struct {
+	mu         sync.RWMutex
+	objects    map[string]Object
+	history    map[string][]Object
+	out        map[string][]Edge
+	in         map[string][]Edge
+	surrogates map[string][]SurrogateSpec
+}
+
+// DefaultMemShards is the shard count NewMemBackend uses when given 0.
+const DefaultMemShards = 16
+
+var _ Backend = (*MemBackend)(nil)
+
+// NewMemBackend creates an empty in-memory backend with the given number
+// of hash partitions (0 means DefaultMemShards).
+func NewMemBackend(shards int) *MemBackend {
+	if shards <= 0 {
+		shards = DefaultMemShards
+	}
+	m := &MemBackend{
+		shards: make([]memShard, shards),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.objects = map[string]Object{}
+		sh.history = map[string][]Object{}
+		sh.out = map[string][]Edge{}
+		sh.in = map[string][]Edge{}
+		sh.surrogates = map[string][]SurrogateSpec{}
+	}
+	return m
+}
+
+// NumShards reports the partition count.
+func (m *MemBackend) NumShards() int { return len(m.shards) }
+
+func (m *MemBackend) shardIndex(id string) int {
+	return int(maphash.String(m.seed, id) % uint64(len(m.shards)))
+}
+
+func (m *MemBackend) shardFor(id string) *memShard {
+	return &m.shards[m.shardIndex(id)]
+}
+
+// lockAll / runlockAll take every shard in index order; used by Apply and
+// Snapshot, which need a globally consistent view.
+func (m *MemBackend) lockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+	}
+}
+
+func (m *MemBackend) unlockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+func (m *MemBackend) rlockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+	}
+}
+
+func (m *MemBackend) runlockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.RUnlock()
+	}
+}
+
+// PutObject stores (or replaces) a provenance object.
+func (m *MemBackend) PutObject(o Object) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if err := validateObject(o); err != nil {
+		return err
+	}
+	sh := m.shardFor(o.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, existed := sh.objects[o.ID]; existed {
+		sh.history[o.ID] = append(sh.history[o.ID], prev)
+	}
+	sh.objects[o.ID] = o
+	m.revision.Add(1)
+	return nil
+}
+
+// PutEdge stores a provenance edge; both endpoints must exist.
+func (m *MemBackend) PutEdge(e Edge) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if e.From == e.To {
+		return fmt.Errorf("plus: self edge %s rejected", e.From)
+	}
+	fi, ti := m.shardIndex(e.From), m.shardIndex(e.To)
+	// Lock the two shards in index order (one lock when they collide).
+	lo, hi := fi, ti
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	m.shards[lo].mu.Lock()
+	defer m.shards[lo].mu.Unlock()
+	if hi != lo {
+		m.shards[hi].mu.Lock()
+		defer m.shards[hi].mu.Unlock()
+	}
+	from, to := &m.shards[fi], &m.shards[ti]
+	if _, ok := from.objects[e.From]; !ok {
+		return fmt.Errorf("plus: edge %s->%s: %w (from)", e.From, e.To, ErrNotFound)
+	}
+	if _, ok := to.objects[e.To]; !ok {
+		return fmt.Errorf("plus: edge %s->%s: %w (to)", e.From, e.To, ErrNotFound)
+	}
+	for _, prev := range from.out[e.From] {
+		if prev.To == e.To {
+			return fmt.Errorf("plus: duplicate edge %s->%s", e.From, e.To)
+		}
+	}
+	from.out[e.From] = append(from.out[e.From], e)
+	to.in[e.To] = append(to.in[e.To], e)
+	m.edges.Add(1)
+	m.revision.Add(1)
+	return nil
+}
+
+// PutSurrogate stores a surrogate version of an object.
+func (m *MemBackend) PutSurrogate(sp SurrogateSpec) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if err := validateSurrogate(sp); err != nil {
+		return err
+	}
+	sh := m.shardFor(sp.ForID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.objects[sp.ForID]; !ok {
+		return fmt.Errorf("plus: surrogate for %s: %w", sp.ForID, ErrNotFound)
+	}
+	sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
+	m.revision.Add(1)
+	return nil
+}
+
+// Apply stores a whole batch under all shard locks: validation failures
+// leave the backend untouched, and readers never observe a half-applied
+// batch.
+func (m *MemBackend) Apply(b Batch) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	m.lockAll()
+	defer m.unlockAll()
+	err := b.validate(
+		func(id string) bool {
+			_, ok := m.shardFor(id).objects[id]
+			return ok
+		},
+		func(from, to string) bool {
+			for _, prev := range m.shardFor(from).out[from] {
+				if prev.To == to {
+					return true
+				}
+			}
+			return false
+		},
+	)
+	if err != nil {
+		return err
+	}
+	for _, o := range b.Objects {
+		sh := m.shardFor(o.ID)
+		if prev, existed := sh.objects[o.ID]; existed {
+			sh.history[o.ID] = append(sh.history[o.ID], prev)
+		}
+		sh.objects[o.ID] = o
+		m.revision.Add(1)
+	}
+	for _, e := range b.Edges {
+		from, to := m.shardFor(e.From), m.shardFor(e.To)
+		from.out[e.From] = append(from.out[e.From], e)
+		to.in[e.To] = append(to.in[e.To], e)
+		m.edges.Add(1)
+		m.revision.Add(1)
+	}
+	for _, sp := range b.Surrogates {
+		sh := m.shardFor(sp.ForID)
+		sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
+		m.revision.Add(1)
+	}
+	return nil
+}
+
+// GetObject fetches one object by id.
+func (m *MemBackend) GetObject(id string) (Object, error) {
+	if m.closed.Load() {
+		return Object{}, ErrClosed
+	}
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[id]
+	if !ok {
+		return Object{}, fmt.Errorf("plus: %q: %w", id, ErrNotFound)
+	}
+	return o, nil
+}
+
+// History returns the superseded versions of an object, oldest first.
+func (m *MemBackend) History(id string) []Object {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]Object(nil), sh.history[id]...)
+}
+
+// Objects returns every object (unspecified order).
+func (m *MemBackend) Objects() []Object {
+	var out []Object
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, o := range sh.objects {
+			out = append(out, o)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// EdgesFrom returns the outgoing edges of an object, in insertion order.
+func (m *MemBackend) EdgesFrom(id string) []Edge {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]Edge(nil), sh.out[id]...)
+}
+
+// EdgesTo returns the incoming edges of an object, in insertion order.
+func (m *MemBackend) EdgesTo(id string) []Edge {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]Edge(nil), sh.in[id]...)
+}
+
+// SurrogatesOf returns the stored surrogate specs for an object.
+func (m *MemBackend) SurrogatesOf(id string) []SurrogateSpec {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]SurrogateSpec(nil), sh.surrogates[id]...)
+}
+
+// NumObjects reports how many objects the backend holds.
+func (m *MemBackend) NumObjects() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.objects)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// NumEdges reports how many edges the backend holds.
+func (m *MemBackend) NumEdges() int { return int(m.edges.Load()) }
+
+// Revision returns a counter that increases with every stored record.
+func (m *MemBackend) Revision() uint64 { return m.revision.Load() }
+
+// Snapshot returns an immutable view of the backend at its current
+// revision, cached per revision like LogBackend's. The slow path briefly
+// read-locks every shard, which blocks writers but not other snapshot
+// readers; the fast path is a single atomic load.
+func (m *MemBackend) Snapshot() (*Snapshot, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	if sn := m.snap.Load(); sn != nil && sn.rev == m.revision.Load() {
+		return sn, nil
+	}
+	m.rlockAll()
+	defer m.runlockAll()
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	// With every shard read-locked no writer can hold a shard lock, so
+	// the revision is stable for the duration of the clone.
+	rev := m.revision.Load()
+	if sn := m.snap.Load(); sn != nil && sn.rev == rev {
+		return sn, nil
+	}
+	sn := &Snapshot{
+		rev:        rev,
+		objects:    map[string]Object{},
+		out:        map[string][]Edge{},
+		in:         map[string][]Edge{},
+		surrogates: map[string][]SurrogateSpec{},
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sn.mergeInto(sh.objects, sh.out, sh.in, sh.surrogates)
+	}
+	m.snap.Store(sn)
+	return sn, nil
+}
+
+// Size reports the durable footprint: always 0, the backend is volatile.
+func (m *MemBackend) Size() int64 { return 0 }
+
+// Ping reports whether the backend is open.
+func (m *MemBackend) Ping() error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close marks the backend closed; contents are discarded with the
+// process. Double close is a no-op.
+func (m *MemBackend) Close() error {
+	m.closed.Store(true)
+	m.snap.Store(nil)
+	return nil
+}

@@ -59,12 +59,13 @@ type OPMXPlus struct {
 	Protect string `json:"protect,omitempty"`
 }
 
-// ExportOPM writes the whole store as an OPM document.
-func (s *Store) ExportOPM(w io.Writer) error {
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return ErrClosed
+// ExportOPM writes a backend's whole contents as an OPM document. The
+// export runs over one immutable snapshot, so a concurrent writer can
+// never tear the document.
+func ExportOPM(b Backend, w io.Writer) error {
+	sn, err := b.Snapshot()
+	if err != nil {
+		return err
 	}
 	doc := OPMDocument{
 		Artifacts:      []OPMArtifact{},
@@ -72,14 +73,14 @@ func (s *Store) ExportOPM(w io.Writer) error {
 		Used:           []OPMDependency{},
 		WasGeneratedBy: []OPMDependency{},
 	}
-	ids := make([]string, 0, len(s.objects))
-	for id := range s.objects {
+	ids := make([]string, 0, len(sn.objects))
+	for id := range sn.objects {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	kind := map[string]ObjectKind{}
 	for _, id := range ids {
-		o := s.objects[id]
+		o := sn.objects[id]
 		kind[id] = o.Kind
 		var x *OPMXPlus
 		if o.Lowest != "" || o.Protect != "" {
@@ -92,7 +93,7 @@ func (s *Store) ExportOPM(w io.Writer) error {
 		}
 	}
 	for _, id := range ids {
-		for _, e := range s.out[id] {
+		for _, e := range sn.Out(id) {
 			dep := OPMDependency{Role: e.Label}
 			if kind[e.To] == Invocation {
 				// artifact -> process: the process used the artifact.
@@ -106,19 +107,24 @@ func (s *Store) ExportOPM(w io.Writer) error {
 			}
 		}
 	}
-	s.mu.RUnlock()
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }
 
-// ImportOPM reads an OPM document and stores its contents. Entities are
-// inserted before dependencies, so a well-formed document always imports;
-// dependencies naming unknown entities are an error. Edge direction
-// follows dataflow: used(P, A) becomes A -> P, wasGeneratedBy(A, P)
-// becomes P -> A.
-func (s *Store) ImportOPM(r io.Reader) error {
+// ExportOPM writes the whole store as an OPM document.
+func (s *LogBackend) ExportOPM(w io.Writer) error { return ExportOPM(s, w) }
+
+// ExportOPM writes the whole backend as an OPM document.
+func (m *MemBackend) ExportOPM(w io.Writer) error { return ExportOPM(m, w) }
+
+// ImportOPM reads an OPM document and stores its contents in a backend.
+// Entities are inserted before dependencies, so a well-formed document
+// always imports; dependencies naming unknown entities are an error. Edge
+// direction follows dataflow: used(P, A) becomes A -> P,
+// wasGeneratedBy(A, P) becomes P -> A.
+func ImportOPM(b Backend, r io.Reader) error {
 	var doc OPMDocument
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {
@@ -129,7 +135,7 @@ func (s *Store) ImportOPM(r io.Reader) error {
 		if a.XPlus != nil {
 			o.Lowest, o.Protect = a.XPlus.Lowest, a.XPlus.Protect
 		}
-		if err := s.PutObject(o); err != nil {
+		if err := b.PutObject(o); err != nil {
 			return err
 		}
 	}
@@ -138,17 +144,17 @@ func (s *Store) ImportOPM(r io.Reader) error {
 		if p.XPlus != nil {
 			o.Lowest, o.Protect = p.XPlus.Lowest, p.XPlus.Protect
 		}
-		if err := s.PutObject(o); err != nil {
+		if err := b.PutObject(o); err != nil {
 			return err
 		}
 	}
 	for _, d := range doc.Used {
-		if err := s.PutEdge(Edge{From: d.Cause, To: d.Effect, Label: roleOr(d.Role, "used")}); err != nil {
+		if err := b.PutEdge(Edge{From: d.Cause, To: d.Effect, Label: roleOr(d.Role, "used")}); err != nil {
 			return err
 		}
 	}
 	for _, d := range doc.WasGeneratedBy {
-		if err := s.PutEdge(Edge{From: d.Cause, To: d.Effect, Label: roleOr(d.Role, "wasGeneratedBy")}); err != nil {
+		if err := b.PutEdge(Edge{From: d.Cause, To: d.Effect, Label: roleOr(d.Role, "wasGeneratedBy")}); err != nil {
 			return err
 		}
 	}
@@ -161,3 +167,9 @@ func roleOr(role, fallback string) string {
 	}
 	return fallback
 }
+
+// ImportOPM reads an OPM document into the store.
+func (s *LogBackend) ImportOPM(r io.Reader) error { return ImportOPM(s, r) }
+
+// ImportOPM reads an OPM document into the backend.
+func (m *MemBackend) ImportOPM(r io.Reader) error { return ImportOPM(m, r) }

@@ -1,0 +1,154 @@
+package plus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/privilege"
+)
+
+// wideDAG stores a 3-level fan-in DAG wide enough to trip the parallel
+// frontier (width > parallelFrontier): `width` leaves feed `width`
+// mid-level invocations (each leaf into two invocations), which all feed
+// one sink. Returns the sink id.
+func wideDAG(t testing.TB, b Backend, width int) string {
+	t.Helper()
+	var batch Batch
+	for i := 0; i < width; i++ {
+		batch.Objects = append(batch.Objects, Object{ID: fmt.Sprintf("leaf%03d", i), Kind: Data, Name: "leaf"})
+	}
+	for i := 0; i < width; i++ {
+		id := fmt.Sprintf("mid%03d", i)
+		o := Object{ID: id, Kind: Invocation, Name: "mid"}
+		if i%4 == 0 {
+			o.Lowest = "Protected"
+			o.Protect = "surrogate"
+		}
+		batch.Objects = append(batch.Objects, o)
+		batch.Edges = append(batch.Edges,
+			Edge{From: fmt.Sprintf("leaf%03d", i), To: id, Label: "input-to"},
+			Edge{From: fmt.Sprintf("leaf%03d", (i+1)%width), To: id, Label: "input-to"},
+		)
+	}
+	batch.Objects = append(batch.Objects, Object{ID: "sink", Kind: Data, Name: "sink"})
+	for i := 0; i < width; i++ {
+		batch.Edges = append(batch.Edges, Edge{From: fmt.Sprintf("mid%03d", i), To: "sink", Label: "generated"})
+	}
+	if err := b.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	return "sink"
+}
+
+// TestParallelFetchMatchesSequential pins the tentpole invariant: the
+// worker-pool frontier BFS must fetch exactly the same closure, in the
+// same order, as the single-threaded walk.
+func TestParallelFetchMatchesSequential(t *testing.T) {
+	for _, h := range conformanceHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			b, _ := h.open(t)
+			sink := wideDAG(t, b, 200)
+
+			seq := NewEngine(b, privilege.TwoLevel())
+			seq.SetFetchWorkers(1)
+			par := NewEngine(b, privilege.TwoLevel())
+			par.SetFetchWorkers(8)
+
+			for _, req := range []Request{
+				{Start: sink, Direction: graph.Backward},
+				{Start: sink, Direction: graph.Backward, Depth: 1},
+				{Start: "leaf000", Direction: graph.Forward},
+				{Start: "leaf000", Direction: graph.Undirected},
+				{Start: sink, Direction: graph.Backward, LabelFilter: "generated"},
+				{Start: sink, Direction: graph.Backward, KindFilter: Invocation},
+			} {
+				fs, err := seq.fetch(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fp, err := par.fetch(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fs.objects) != len(fp.objects) || len(fs.edges) != len(fp.edges) {
+					t.Fatalf("req %+v: sequential %d objects/%d edges, parallel %d/%d",
+						req, len(fs.objects), len(fs.edges), len(fp.objects), len(fp.edges))
+				}
+				for i := range fs.objects {
+					if fs.objects[i].ID != fp.objects[i].ID {
+						t.Fatalf("req %+v: object order diverges at %d: %s vs %s",
+							req, i, fs.objects[i].ID, fp.objects[i].ID)
+					}
+				}
+				for i := range fs.edges {
+					if fs.edges[i] != fp.edges[i] {
+						t.Fatalf("req %+v: edge order diverges at %d", req, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotQueriesDoNotBlockWriters drives concurrent lineage reads
+// and writes: with snapshot isolation both must make progress, and every
+// answer must be internally consistent (each fetched edge's endpoints
+// are in the fetched object set).
+func TestSnapshotQueriesDoNotBlockWriters(t *testing.T) {
+	for _, h := range conformanceHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			b, _ := h.open(t)
+			sink := wideDAG(t, b, 100)
+			en := NewEngine(b, privilege.TwoLevel())
+
+			stop := make(chan struct{})
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id := fmt.Sprintf("extra%05d", i)
+					if err := b.PutObject(Object{ID: id, Kind: Data, Name: "extra"}); err != nil {
+						t.Errorf("writer: %v", err)
+						return
+					}
+				}
+			}()
+			var readers sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					for i := 0; i < 30; i++ {
+						res, err := en.Lineage(Request{Start: sink, Direction: graph.Backward})
+						if err != nil {
+							t.Errorf("reader: %v", err)
+							return
+						}
+						ids := map[graph.NodeID]bool{}
+						for _, id := range res.Spec.Graph.Nodes() {
+							ids[id] = true
+						}
+						for _, e := range res.Spec.Graph.Edges() {
+							if !ids[e.From] || !ids[e.To] {
+								t.Errorf("torn closure: edge %s->%s without endpoints", e.From, e.To)
+								return
+							}
+						}
+					}
+				}()
+			}
+			// The writer runs for as long as the readers take, so reads
+			// and writes genuinely overlap.
+			readers.Wait()
+			close(stop)
+			<-writerDone
+		})
+	}
+}

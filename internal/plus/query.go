@@ -2,6 +2,9 @@ package plus
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/account"
@@ -66,20 +69,41 @@ type Result struct {
 	Timing  Timing
 }
 
-// Engine answers lineage queries against a store under a privilege
-// lattice.
+// Engine answers lineage queries against a storage backend under a
+// privilege lattice. Queries run over immutable snapshots (Backend
+// .Snapshot), so they never hold a store lock during traversal: readers
+// scale with cores and writers are never blocked by a deep closure walk.
 type Engine struct {
-	store   *Store
+	store   Backend
 	lattice *privilege.Lattice
+
+	// fetchWorkers bounds the frontier-BFS worker pool; defaults to
+	// GOMAXPROCS. Atomic so SetFetchWorkers is safe while queries are in
+	// flight.
+	fetchWorkers atomic.Int32
 }
 
-// NewEngine binds a store to the lattice its Lowest nicknames refer to.
-func NewEngine(store *Store, lattice *privilege.Lattice) *Engine {
-	return &Engine{store: store, lattice: lattice}
+// NewEngine binds a backend to the lattice its Lowest nicknames refer to.
+func NewEngine(store Backend, lattice *privilege.Lattice) *Engine {
+	en := &Engine{store: store, lattice: lattice}
+	en.fetchWorkers.Store(int32(runtime.GOMAXPROCS(0)))
+	return en
 }
 
 // Lattice returns the engine's privilege lattice.
 func (en *Engine) Lattice() *privilege.Lattice { return en.lattice }
+
+// Backend returns the storage backend the engine queries.
+func (en *Engine) Backend() Backend { return en.store }
+
+// SetFetchWorkers overrides the worker-pool width of the parallel fetch
+// phase (minimum 1); useful for benchmarks and tests.
+func (en *Engine) SetFetchWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	en.fetchWorkers.Store(int32(n))
+}
 
 // fetched is the raw lineage closure pulled from the store.
 type fetched struct {
@@ -88,37 +112,46 @@ type fetched struct {
 	surrogates []SurrogateSpec
 }
 
-// fetch walks the store's adjacency from the start object, honouring the
+// parallelFrontier is the frontier width at which fetch switches from a
+// single-threaded expansion to the worker pool: below it the
+// coordination overhead outweighs the map lookups being parallelised.
+const parallelFrontier = 64
+
+// expansion is what expanding one frontier node yields: the edges seen
+// at that node and the neighbour ids they lead to (parallel slices).
+type expansion struct {
+	edges []Edge
+	next  []string
+}
+
+// fetch walks a snapshot's adjacency from the start object, honouring the
 // requested direction and depth, and returns every object, edge and
 // surrogate in the closure. This is the "DB access" phase of Figure 10.
+//
+// The walk is a level-synchronised BFS: each depth's frontier is expanded
+// — in parallel across a worker pool once the frontier is wide enough —
+// and the results are merged in frontier order, so the visit order (and
+// therefore the fetched closure) is identical to the sequential walk.
+// Because the snapshot is immutable, no locks are held at any point.
 func (en *Engine) fetch(req Request) (*fetched, error) {
-	s := en.store
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
+	sn, err := en.store.Snapshot()
+	if err != nil {
+		return nil, err
 	}
-	start, ok := s.objects[req.Start]
+	start, ok := sn.Object(req.Start)
 	if !ok {
 		return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, ErrNotFound)
 	}
-	f := &fetched{objects: []Object{start}}
-	seen := map[string]int{req.Start: 0}
-	edgeSeen := map[[2]string]bool{}
-	queue := []string{req.Start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		depth := seen[cur]
-		if req.Depth > 0 && depth >= req.Depth {
-			continue
-		}
+
+	// expand collects the admissible edges and neighbours of one node.
+	expand := func(cur string) expansion {
+		var ex expansion
 		var steps []Edge
 		if req.Direction == graph.Forward || req.Direction == graph.Undirected {
-			steps = append(steps, s.out[cur]...)
+			steps = append(steps, sn.Out(cur)...)
 		}
 		if req.Direction == graph.Backward || req.Direction == graph.Undirected {
-			steps = append(steps, s.in[cur]...)
+			steps = append(steps, sn.In(cur)...)
 		}
 		for _, e := range steps {
 			if req.LabelFilter != "" && e.Label != req.LabelFilter {
@@ -128,23 +161,77 @@ func (en *Engine) fetch(req Request) (*fetched, error) {
 			if next == cur {
 				next = e.From
 			}
-			if req.KindFilter != "" && s.objects[next].Kind != req.KindFilter {
-				continue
+			if req.KindFilter != "" {
+				if o, ok := sn.Object(next); !ok || o.Kind != req.KindFilter {
+					continue
+				}
 			}
-			key := [2]string{e.From, e.To}
-			if !edgeSeen[key] {
-				edgeSeen[key] = true
-				f.edges = append(f.edges, e)
+			ex.edges = append(ex.edges, e)
+			ex.next = append(ex.next, next)
+		}
+		return ex
+	}
+
+	f := &fetched{objects: []Object{start}}
+	seen := map[string]bool{req.Start: true}
+	edgeSeen := map[[2]string]bool{}
+	frontier := []string{req.Start}
+	for depth := 0; len(frontier) > 0 && (req.Depth == 0 || depth < req.Depth); depth++ {
+		expansions := make([]expansion, len(frontier))
+		if workers := int(en.fetchWorkers.Load()); workers > 1 && len(frontier) >= parallelFrontier {
+			// Worker pool over contiguous chunks of the frontier.
+			if workers > len(frontier) {
+				workers = len(frontier)
 			}
-			if _, ok := seen[next]; !ok {
-				seen[next] = depth + 1
-				f.objects = append(f.objects, s.objects[next])
-				queue = append(queue, next)
+			chunk := (len(frontier) + workers - 1) / workers
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if lo >= len(frontier) {
+					break
+				}
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						expansions[i] = expand(frontier[i])
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		} else {
+			for i, cur := range frontier {
+				expansions[i] = expand(cur)
 			}
 		}
+
+		// Merge in frontier order: dedupe is sequential, so the closure
+		// is deterministic regardless of worker scheduling.
+		var next []string
+		for _, ex := range expansions {
+			for i, e := range ex.edges {
+				key := [2]string{e.From, e.To}
+				if !edgeSeen[key] {
+					edgeSeen[key] = true
+					f.edges = append(f.edges, e)
+				}
+				n := ex.next[i]
+				if !seen[n] {
+					seen[n] = true
+					o, _ := sn.Object(n)
+					f.objects = append(f.objects, o)
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
 	}
 	for _, o := range f.objects {
-		f.surrogates = append(f.surrogates, s.surrogates[o.ID]...)
+		f.surrogates = append(f.surrogates, sn.Surrogates(o.ID)...)
 	}
 	return f, nil
 }

@@ -29,6 +29,7 @@ type lineageAnswerer interface {
 //	GET  /v1/objects/{id}       fetch an Object
 //	GET  /v1/lineage            lineage query (see LineageResponse)
 //	GET  /v1/stats              store statistics
+//	GET  /v1/healthz            readiness probe (store open, counts, revision)
 //	GET  /v1/opm                export the store as an OPM document
 //	POST /v1/opm                import an OPM document
 //
@@ -62,6 +63,7 @@ func newServer(engine *Engine, answerer lineageAnswerer) *Server {
 	s.mux.HandleFunc("/v1/surrogates", s.handleSurrogates)
 	s.mux.HandleFunc("/v1/lineage", s.handleLineage)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/opm", s.handleOPM)
 	return s
 }
@@ -305,13 +307,13 @@ func (s *Server) handleOPM(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		w.Header().Set("Content-Type", "application/json")
-		if err := s.engine.store.ExportOPM(w); err != nil {
+		if err := ExportOPM(s.engine.store, w); err != nil {
 			// Headers may already be out; best effort.
 			writeError(w, err)
 		}
 	case http.MethodPost:
 		// OPM documents can be large but not unbounded; allow 64 MiB.
-		if err := s.engine.store.ImportOPM(http.MaxBytesReader(w, r.Body, 64<<20)); err != nil {
+		if err := ImportOPM(s.engine.store, http.MaxBytesReader(w, r.Body, 64<<20)); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -330,6 +332,36 @@ type StatsResponse struct {
 }
 
 var serverStart = time.Now()
+
+// HealthzResponse is the readiness-probe answer: whether the backend is
+// open plus the live counts and revision a deployment can alert on.
+type HealthzResponse struct {
+	Status   string `json:"status"` // "ok" or "unavailable"
+	Objects  int    `json:"objects"`
+	Edges    int    `json:"edges"`
+	Revision uint64 `json:"revision"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	b := s.engine.store
+	if err := b.Ping(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, HealthzResponse{
+			Status:   "unavailable",
+			Revision: b.Revision(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:   "ok",
+		Objects:  b.NumObjects(),
+		Edges:    b.NumEdges(),
+		Revision: b.Revision(),
+	})
+}
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {

@@ -6,13 +6,17 @@
 // query engine that answers path-traversal queries ("what contributed to
 // this data?") with protected accounts, and an HTTP server/client pair.
 //
-// The storage engine is a single append-only log file: each record is
+// Storage is pluggable behind the Backend interface. LogBackend is the
+// durable engine: a single append-only log file where each record is
 // length-prefixed, type-tagged and CRC-guarded; an in-memory index (object
 // id -> offset, plus adjacency) is rebuilt by scanning the log on open,
 // and a torn tail from a crashed writer is detected and truncated. This is
 // deliberately the classical minimal write-ahead design: the paper's
 // Figure 10 experiment decomposes query cost into DB access, graph build
 // and protection, and this engine reproduces that decomposition honestly.
+// MemBackend (membackend.go) is the volatile, shard-partitioned engine for
+// read-heavy serving. Both hand queries immutable revision-stamped
+// snapshots, so lineage traversal never blocks writers.
 package plus
 
 import (
@@ -24,6 +28,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // ObjectKind distinguishes provenance node types (Open Provenance Model
@@ -91,9 +96,10 @@ var ErrNotFound = errors.New("plus: object not found")
 // ErrClosed is returned on use after Close.
 var ErrClosed = errors.New("plus: store closed")
 
-// Store is the durable provenance store. All methods are safe for
-// concurrent use.
-type Store struct {
+// LogBackend is the durable provenance store: a CRC-guarded append-only
+// log with a full in-memory index. All methods are safe for concurrent
+// use. It implements Backend.
+type LogBackend struct {
 	mu   sync.RWMutex
 	f    *os.File
 	path string
@@ -107,11 +113,22 @@ type Store struct {
 	surrogates map[string][]SurrogateSpec
 
 	// revision increments on every applied record; engines use it to
-	// invalidate cached protected accounts when the store changes.
-	revision uint64
+	// invalidate cached protected accounts and snapshots when the store
+	// changes. Atomic so the snapshot fast path never takes mu.
+	revision atomic.Uint64
 
-	closed bool
+	// snap caches the last snapshot clone; valid while its revision
+	// matches the store's. Readers hitting the cache never touch mu.
+	snap atomic.Pointer[Snapshot]
+
+	closed atomic.Bool
 }
+
+// Store is the historical name of the durable engine, kept as an alias so
+// existing callers and tests keep compiling.
+type Store = LogBackend
+
+var _ Backend = (*LogBackend)(nil)
 
 // Options configure Open.
 type Options struct {
@@ -123,12 +140,12 @@ type Options struct {
 // Open opens (or creates) a store at path, replaying the log to rebuild
 // the in-memory index. A torn final record — a crash mid-append — is
 // truncated away; any earlier corruption is reported as an error.
-func Open(path string, opts Options) (*Store, error) {
+func Open(path string, opts Options) (*LogBackend, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("plus: open %s: %w", path, err)
 	}
-	s := &Store{
+	s := &LogBackend{
 		f:          f,
 		path:       path,
 		sync:       opts.Sync,
@@ -147,7 +164,7 @@ func Open(path string, opts Options) (*Store, error) {
 
 // replay scans the log, applying every intact record and truncating a
 // torn tail.
-func (s *Store) replay() error {
+func (s *LogBackend) replay() error {
 	info, err := s.f.Stat()
 	if err != nil {
 		return fmt.Errorf("plus: stat: %w", err)
@@ -220,7 +237,7 @@ func readRecord(r io.Reader) ([]byte, int64, error) {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-func (s *Store) apply(kind byte, body []byte) error {
+func (s *LogBackend) apply(kind byte, body []byte) error {
 	switch kind {
 	case recObject:
 		var o Object
@@ -247,21 +264,54 @@ func (s *Store) apply(kind byte, body []byte) error {
 	default:
 		return fmt.Errorf("plus: unknown record type %d", kind)
 	}
-	s.revision++
+	s.revision.Add(1)
 	return nil
 }
 
 // Revision returns a counter that increases with every stored record;
 // equal revisions imply identical store contents (within one process).
-func (s *Store) Revision() uint64 {
+func (s *LogBackend) Revision() uint64 {
+	return s.revision.Load()
+}
+
+// Snapshot returns an immutable view of the store at its current
+// revision. The clone is cached: consecutive snapshots with no
+// intervening write return the same *Snapshot without taking the store
+// lock, so concurrent lineage readers scale with cores instead of
+// serializing on mu.
+func (s *LogBackend) Snapshot() (*Snapshot, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if sn := s.snap.Load(); sn != nil && sn.rev == s.revision.Load() {
+		return sn, nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.revision
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Re-check under the lock: another reader may have cloned already.
+	rev := s.revision.Load()
+	if sn := s.snap.Load(); sn != nil && sn.rev == rev {
+		return sn, nil
+	}
+	sn := cloneIndex(rev, s.objects, s.out, s.in, s.surrogates)
+	s.snap.Store(sn)
+	return sn, nil
+}
+
+// Ping reports whether the store is open.
+func (s *LogBackend) Ping() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // append writes one record and updates the index via apply.
-func (s *Store) append(kind byte, v interface{}) error {
-	if s.closed {
+func (s *LogBackend) append(kind byte, v interface{}) error {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	body, err := json.Marshal(v)
@@ -288,15 +338,9 @@ func (s *Store) append(kind byte, v interface{}) error {
 }
 
 // PutObject stores (or replaces) a provenance object.
-func (s *Store) PutObject(o Object) error {
-	if o.ID == "" {
-		return fmt.Errorf("plus: object with empty id")
-	}
-	if o.Kind != Data && o.Kind != Invocation {
-		return fmt.Errorf("plus: object %s has unknown kind %q", o.ID, o.Kind)
-	}
-	if o.Protect != "" && o.Protect != string(ModeHide) && o.Protect != string(ModeSurrogate) {
-		return fmt.Errorf("plus: object %s has unknown protect mode %q", o.ID, o.Protect)
+func (s *LogBackend) PutObject(o Object) error {
+	if err := validateObject(o); err != nil {
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -304,7 +348,7 @@ func (s *Store) PutObject(o Object) error {
 }
 
 // PutEdge stores a provenance edge; both endpoints must exist.
-func (s *Store) PutEdge(e Edge) error {
+func (s *LogBackend) PutEdge(e Edge) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.objects[e.From]; !ok {
@@ -325,26 +369,23 @@ func (s *Store) PutEdge(e Edge) error {
 }
 
 // PutSurrogate stores a surrogate version of an object.
-func (s *Store) PutSurrogate(sp SurrogateSpec) error {
+func (s *LogBackend) PutSurrogate(sp SurrogateSpec) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.objects[sp.ForID]; !ok {
 		return fmt.Errorf("plus: surrogate for %s: %w", sp.ForID, ErrNotFound)
 	}
-	if sp.ID == "" || sp.ID == sp.ForID {
-		return fmt.Errorf("plus: surrogate for %s has bad id %q", sp.ForID, sp.ID)
-	}
-	if sp.InfoScore < 0 || sp.InfoScore > 1 {
-		return fmt.Errorf("plus: surrogate %s infoScore %v out of [0,1]", sp.ID, sp.InfoScore)
+	if err := validateSurrogate(sp); err != nil {
+		return err
 	}
 	return s.append(recSurrogate, sp)
 }
 
 // GetObject fetches one object by id.
-func (s *Store) GetObject(id string) (Object, error) {
+func (s *LogBackend) GetObject(id string) (Object, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return Object{}, ErrClosed
 	}
 	o, ok := s.objects[id]
@@ -355,14 +396,14 @@ func (s *Store) GetObject(id string) (Object, error) {
 }
 
 // NumObjects reports how many objects the store holds.
-func (s *Store) NumObjects() int {
+func (s *LogBackend) NumObjects() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.objects)
 }
 
 // NumEdges reports how many edges the store holds.
-func (s *Store) NumEdges() int {
+func (s *LogBackend) NumEdges() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := 0
@@ -376,14 +417,14 @@ func (s *Store) NumEdges() int {
 // live version is not included. Because the log is append-only the full
 // history replays on open; Compact drops it (only live state is
 // rewritten), which callers trade off against space.
-func (s *Store) History(id string) []Object {
+func (s *LogBackend) History(id string) []Object {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]Object(nil), s.history[id]...)
 }
 
 // Objects returns every object (unspecified order).
-func (s *Store) Objects() []Object {
+func (s *LogBackend) Objects() []Object {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]Object, 0, len(s.objects))
@@ -394,13 +435,14 @@ func (s *Store) Objects() []Object {
 }
 
 // Close flushes and closes the log file.
-func (s *Store) Close() error {
+func (s *LogBackend) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
+	s.closed.Store(true)
+	s.snap.Store(nil)
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return fmt.Errorf("plus: close sync: %w", err)
@@ -409,7 +451,7 @@ func (s *Store) Close() error {
 }
 
 // Size returns the log size in bytes.
-func (s *Store) Size() int64 {
+func (s *LogBackend) Size() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.size
