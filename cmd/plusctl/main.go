@@ -11,6 +11,7 @@
 //	put-surrogate -for ID -id ID -name NAME [-lowest P] [-score F]
 //	get ID
 //	lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]
+//	query [-viewer P] [-mode surrogate|hide] [-limit N] [-format table|json] [-explain] 'PLUSQL'
 //	stats
 //	healthz
 //	export-opm
@@ -22,13 +23,86 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"repro/internal/plus"
+	"repro/internal/plusql"
 )
 
+// commands lists every subcommand with a one-line synopsis; the usage
+// listing and the dispatcher's unknown-command error are built from it.
+var commands = []struct{ name, synopsis string }{
+	{"put-object", `put-object -id ID -kind data|invocation -name NAME [-lowest P] [-protect surrogate|hide]`},
+	{"put-edge", `put-edge -from ID -to ID [-label L] [-protect-at P] [-protect-mode surrogate|hide]`},
+	{"put-surrogate", `put-surrogate -for ID -id ID -name NAME [-lowest P] [-score F]`},
+	{"get", `get ID`},
+	{"lineage", `lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]`},
+	{"query", `query [-viewer P] [-mode surrogate|hide] [-limit N] [-format table|json] [-explain] 'PLUSQL query'`},
+	{"stats", `stats`},
+	{"healthz", `healthz`},
+	{"export-opm", `export-opm`},
+	{"import-opm", `import-opm [-file doc.json]`},
+}
+
+// usageListing renders the full subcommand reference printed on unknown
+// or missing subcommands.
+func usageListing() string {
+	var sb strings.Builder
+	sb.WriteString("usage: plusctl [-server URL] <command> [args]\n\ncommands:\n")
+	for _, c := range commands {
+		sb.WriteString("  " + c.synopsis + "\n")
+	}
+	return sb.String()
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: plusctl [-server URL] <put-object|put-edge|put-surrogate|get|lineage|stats|healthz|export-opm|import-opm> [args]")
+	fmt.Fprint(os.Stderr, usageListing())
 	os.Exit(2)
+}
+
+func synopsisOf(name string) string {
+	for _, c := range commands {
+		if c.name == name {
+			return c.synopsis
+		}
+	}
+	return name
+}
+
+// printQueryTable renders a query answer as an aligned table: one column
+// per variable, surrogate bindings marked with "~", followed by a row
+// count and the work counters (and the plan under -explain).
+func printQueryTable(w *os.File, resp *plusql.QueryResponse) error {
+	if resp.Plan != "" {
+		fmt.Fprint(w, resp.Plan)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(resp.Vars, "\t"))
+	for _, row := range resp.Rows {
+		cells := make([]string, len(row))
+		for i, b := range row {
+			cell := b.ID
+			if b.Surrogate {
+				cell += "~"
+			}
+			if b.Name != "" {
+				cell += " (" + b.Name + ")"
+			}
+			cells[i] = cell
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	more := ""
+	if resp.Truncated {
+		more = " (truncated: more rows available, raise -limit)"
+	}
+	fmt.Fprintf(w, "%d row(s)%s, %d candidate(s) examined, %dus\n",
+		resp.Stats.Rows, more, resp.Stats.Examined, resp.TookUS)
+	return nil
 }
 
 func printJSON(v interface{}) error {
@@ -114,6 +188,30 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 			return err
 		}
 		return printJSON(resp)
+	case "query":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		viewer := fs.String("viewer", "", "consumer privilege-predicate")
+		mode := fs.String("mode", "", "surrogate or hide")
+		limit := fs.Int("limit", 0, "cap result rows (0 = server default)")
+		format := fs.String("format", "table", "output format: table or json")
+		explain := fs.Bool("explain", false, "print the executed plan")
+		_ = fs.Parse(rest)
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: plusctl %s", synopsisOf("query"))
+		}
+		if *format != "table" && *format != "json" {
+			return fmt.Errorf("unknown format %q (want table or json)", *format)
+		}
+		resp, err := plusql.ClientQuery(c, plusql.QueryRequest{
+			Query: fs.Arg(0), Viewer: *viewer, Mode: *mode, Limit: *limit, Explain: *explain,
+		})
+		if err != nil {
+			return err
+		}
+		if *format == "json" {
+			return printJSON(resp)
+		}
+		return printQueryTable(os.Stdout, resp)
 	case "stats":
 		s, err := c.Stats()
 		if err != nil {
@@ -143,6 +241,7 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 		}
 		return c.ImportOPM(in)
 	default:
+		fmt.Fprint(os.Stderr, usageListing())
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }

@@ -3,9 +3,11 @@ package main
 import (
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/plus"
+	"repro/internal/plusql"
 	"repro/internal/privilege"
 )
 
@@ -17,7 +19,10 @@ func testClient(t *testing.T) *plus.Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	srv := httptest.NewServer(plus.NewServer(plus.NewEngine(store, privilege.TwoLevel())))
+	lat := privilege.TwoLevel()
+	s := plus.NewServer(plus.NewEngine(store, lat))
+	plusql.Attach(s, plusql.NewEngine(store, lat))
+	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
 	return plus.NewClient(srv.URL)
 }
@@ -111,5 +116,59 @@ func TestExecuteErrors(t *testing.T) {
 	}
 	if err := execute(c, "lineage", []string{"-start", "nope"}); err == nil {
 		t.Error("lineage of missing object accepted")
+	}
+}
+
+func TestExecuteQuery(t *testing.T) {
+	c := testClient(t)
+	for _, s := range [][]string{
+		{"put-object", "-id", "src", "-kind", "data", "-name", "raw"},
+		{"put-object", "-id", "proc", "-kind", "invocation", "-name", "step", "-lowest", "Protected"},
+		{"put-object", "-id", "out", "-kind", "data", "-name", "result"},
+		{"put-edge", "-from", "src", "-to", "proc", "-label", "input-to"},
+		{"put-edge", "-from", "proc", "-to", "out", "-label", "generated"},
+		{"put-surrogate", "-for", "proc", "-id", "proc~", "-name", "a step", "-score", "0.4"},
+	} {
+		if err := execute(c, s[0], s[1:]); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+	for _, args := range [][]string{
+		{`ancestor*(X, "out")`},
+		{"-format", "json", `ancestor*(X, "out"), kind(X, data)`},
+		{"-viewer", "Protected", "-explain", "-limit", "2", `node(X)`},
+	} {
+		if err := execute(c, "query", args); err != nil {
+			t.Fatalf("query %v: %v", args, err)
+		}
+	}
+	// Bad query text fails with the server's positioned parse error.
+	if err := execute(c, "query", []string{`bogus(X)`}); err == nil {
+		t.Error("bad query did not fail")
+	}
+	// Missing query argument is a usage error.
+	if err := execute(c, "query", nil); err == nil {
+		t.Error("missing query argument did not fail")
+	}
+	// Unknown output format is rejected instead of silently defaulting.
+	if err := execute(c, "query", []string{"-format", "csv", `node(X)`}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestUnknownCommandListsUsage(t *testing.T) {
+	c := testClient(t)
+	if err := execute(c, "frob", nil); err == nil {
+		t.Fatal("unknown command did not fail")
+	}
+	// The usage listing names every subcommand on its own line.
+	listing := usageListing()
+	for _, cmd := range commands {
+		if !strings.Contains(listing, "\n  "+cmd.name) {
+			t.Errorf("usage listing missing %q:\n%s", cmd.name, listing)
+		}
+	}
+	if !strings.Contains(listing, "usage: plusctl") {
+		t.Errorf("usage listing missing header:\n%s", listing)
 	}
 }

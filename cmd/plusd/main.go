@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/plus"
+	"repro/internal/plusql"
 	"repro/internal/privilege"
 )
 
@@ -81,6 +82,8 @@ func run() error {
 	} else {
 		srv = plus.NewServer(engine)
 	}
+	// PLUSQL declarative queries: POST /v1/query.
+	plusql.Attach(srv, plusql.NewEngine(backend, lat))
 	log.Printf("plusd: serving %s backend on %s (%d objects, %d edges, cache=%v)",
 		*backendKind, *addr, backend.NumObjects(), backend.NumEdges(), *cache)
 	return http.ListenAndServe(*addr, srv)

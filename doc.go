@@ -15,6 +15,8 @@
 //	internal/measure    path/node utility and opacity
 //	internal/plus       the PLUS substrate: pluggable storage backends,
 //	                    snapshot-isolated lineage engine and HTTP API
+//	internal/plusql     PLUSQL: datalog-style queries over protected
+//	                    lineage (grammar reference in its doc.go)
 //	internal/workload   evaluation motifs and synthetic graph generator
 //	internal/eval       regeneration of every table and figure
 //	internal/core       high-level facade (builder, Protect, Compare,

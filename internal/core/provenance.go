@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/plus"
+	"repro/internal/plusql"
 	"repro/internal/privilege"
 )
 
@@ -16,6 +17,7 @@ import (
 type Provenance struct {
 	backend plus.Backend
 	engine  *plus.CachedEngine
+	query   *plusql.Engine
 	lattice *privilege.Lattice
 }
 
@@ -64,6 +66,7 @@ func NewProvenance(backend plus.Backend, lat *privilege.Lattice) *Provenance {
 	return &Provenance{
 		backend: backend,
 		engine:  plus.NewCachedEngine(plus.NewEngine(backend, lat)),
+		query:   plusql.NewEngine(backend, lat),
 		lattice: lat,
 	}
 }
@@ -79,9 +82,19 @@ func (p *Provenance) Lineage(req plus.Request) (*plus.Result, error) {
 	return p.engine.Lineage(req)
 }
 
-// Server wires an HTTP API around the service's engine.
+// Query answers one declarative PLUSQL query (see internal/plusql for the
+// grammar). Results are drawn from the protected account of the current
+// snapshot for opts.Viewer, so they never reveal what policy hides.
+func (p *Provenance) Query(src string, opts plusql.Options) (*plusql.ResultSet, error) {
+	return p.query.Query(src, opts)
+}
+
+// Server wires an HTTP API around the service's engine, including the
+// PLUSQL query endpoint.
 func (p *Provenance) Server() *plus.Server {
-	return plus.NewCachedServer(p.engine)
+	srv := plus.NewCachedServer(p.engine)
+	plusql.Attach(srv, p.query)
+	return srv
 }
 
 // CompareLineage fetches the full ancestry of start and protects it both

@@ -2,10 +2,12 @@ package core
 
 import (
 	"errors"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/plus"
+	"repro/internal/plusql"
 	"repro/internal/privilege"
 )
 
@@ -92,5 +94,69 @@ func TestProvenanceServerHealthz(t *testing.T) {
 	if p.Backend().NumObjects() != 3 || p.Backend().NumEdges() != 2 {
 		t.Errorf("counts = %d objects %d edges, want 3, 2",
 			p.Backend().NumObjects(), p.Backend().NumEdges())
+	}
+}
+
+func TestProvenanceQuery(t *testing.T) {
+	p, err := OpenProvenance(ProvenanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	seedProvenance(t, p)
+
+	// Public: the protected analytic's incidences contract, so its
+	// ancestry collapses to a surrogate edge src -> out and "proc" can
+	// never be bound.
+	rs, err := p.Query(`ancestor*(X, "out")`, plusql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].ID != "src" {
+		t.Errorf("Public ancestors of out = %+v, want [src]", rs.Rows)
+	}
+	rs, err = p.Query(`node(X)`, plusql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rs.Rows {
+		if row[0].ID == "proc" {
+			t.Error("policy leak: proc bound for Public viewer")
+		}
+	}
+
+	// Protected sees the original.
+	rs, err = p.Query(`ancestor*(X, "out"), kind(X, invocation)`, plusql.Options{Viewer: "Protected"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].ID != "proc" {
+		t.Errorf("Protected invocation ancestors = %+v, want [proc]", rs.Rows)
+	}
+
+	// Parse errors surface with positions through the facade.
+	if _, err := p.Query(`nope(X)`, plusql.Options{}); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+}
+
+func TestProvenanceServerServesQuery(t *testing.T) {
+	p, err := OpenProvenance(ProvenanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	seedProvenance(t, p)
+	srv := httptest.NewServer(p.Server())
+	defer srv.Close()
+
+	resp, err := plusql.ClientQuery(plus.NewClient(srv.URL), plusql.QueryRequest{
+		Query: `ancestor*(X, "out")`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0].ID != "src" {
+		t.Errorf("HTTP query rows = %+v, want [src]", resp.Rows)
 	}
 }

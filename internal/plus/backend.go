@@ -87,6 +87,15 @@ func (sn *Snapshot) Object(id string) (Object, bool) {
 	return o, ok
 }
 
+// Objects returns every object in the snapshot in unspecified order.
+func (sn *Snapshot) Objects() []Object {
+	out := make([]Object, 0, len(sn.objects))
+	for _, o := range sn.objects {
+		out = append(out, o)
+	}
+	return out
+}
+
 // Out returns the outgoing edges of an object. The slice is shared with
 // the snapshot and must not be mutated.
 func (sn *Snapshot) Out(id string) []Edge { return sn.out[id] }

@@ -22,16 +22,7 @@ func NewClient(base string) *Client {
 }
 
 func (c *Client) post(path string, v interface{}) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("plus client: encode: %w", err)
-	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("plus client: %w", err)
-	}
-	defer resp.Body.Close()
-	return checkStatus(resp)
+	return c.PostJSON(path, v, nil)
 }
 
 func (c *Client) get(path string, out interface{}) error {
@@ -42,6 +33,31 @@ func (c *Client) get(path string, out interface{}) error {
 	defer resp.Body.Close()
 	if err := checkStatus(resp); err != nil {
 		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("plus client: decode: %w", err)
+	}
+	return nil
+}
+
+// PostJSON posts in as JSON to path and, when out is non-nil, decodes the
+// JSON response into it. It lets extension subsystems (e.g. PLUSQL) reuse
+// the client's transport and error conventions for their own endpoints.
+func (c *Client) PostJSON(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("plus client: encode: %w", err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("plus client: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("plus client: decode: %w", err)

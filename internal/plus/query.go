@@ -239,9 +239,17 @@ func (en *Engine) fetch(req Request) (*fetched, error) {
 // build assembles the account.Spec from a fetched closure: the "build
 // graph" phase of Figure 10.
 func (en *Engine) build(f *fetched) (*account.Spec, error) {
+	return buildSpec(en.lattice, f)
+}
+
+// buildSpec turns a fetched record set into an account.Spec over the
+// lattice: graph, labeling, policy thresholds and surrogate registry.
+// Shared by the lineage engine (per-closure) and SpecFromSnapshot
+// (whole store, for PLUSQL's protected views).
+func buildSpec(lattice *privilege.Lattice, f *fetched) (*account.Spec, error) {
 	g := graph.New()
-	lb := privilege.NewLabeling(en.lattice)
-	pol := policy.New(en.lattice)
+	lb := privilege.NewLabeling(lattice)
+	pol := policy.New(lattice)
 	reg := surrogate.NewRegistry(lb)
 
 	for _, o := range f.objects {

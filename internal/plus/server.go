@@ -71,6 +71,18 @@ func newServer(engine *Engine, answerer lineageAnswerer) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Handle registers an additional route on the server's mux, letting
+// higher layers (e.g. the PLUSQL query subsystem) extend the API without
+// this package importing them.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// MethodNotAllowed writes the API's standard JSON method-not-allowed
+// response with an Allow header listing the admissible methods.
+func MethodNotAllowed(w http.ResponseWriter, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+}
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -100,7 +112,15 @@ func writeError(w http.ResponseWriter, err error) {
 const maxBodyBytes = 1 << 20
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	return DecodeJSONBody(w, r, maxBodyBytes, v)
+}
+
+// DecodeJSONBody decodes a JSON request body under the API's shared
+// conventions: a hard size cap and unknown fields rejected. Extension
+// handlers (e.g. PLUSQL's /v1/query) use it so request parsing stays
+// uniform across every endpoint.
+func DecodeJSONBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("plus: bad request body: %w", err)
@@ -110,7 +130,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var o Object
@@ -127,7 +147,7 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleObjectByID(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/objects/")
@@ -141,7 +161,7 @@ func (s *Server) handleObjectByID(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var e Edge
@@ -158,7 +178,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSurrogates(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var sp SurrogateSpec
@@ -223,7 +243,7 @@ func parseDirection(s string) (graph.Direction, error) {
 
 func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	q := r.URL.Query()
@@ -319,7 +339,7 @@ func (s *Server) handleOPM(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"status": "imported"})
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodGet, http.MethodPost)
 	}
 }
 
@@ -344,7 +364,7 @@ type HealthzResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	b := s.engine.store
@@ -365,7 +385,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{

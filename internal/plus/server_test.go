@@ -2,6 +2,7 @@ package plus
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -189,10 +190,24 @@ func TestServerRejectsWrongMethods(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
 		}
+		// 405s follow the API's JSON error convention and advertise the
+		// admissible methods.
+		if got := resp.Header.Get("Allow"); got == "" {
+			t.Errorf("%s %s: missing Allow header", tc.method, tc.path)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: Content-Type = %q, want application/json", tc.method, tc.path, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+			t.Errorf("%s %s: body not a JSON error: %v %+v", tc.method, tc.path, err, body)
+		}
+		resp.Body.Close()
 	}
 }
 

@@ -1,0 +1,26 @@
+package plus
+
+import (
+	"sort"
+
+	"repro/internal/account"
+	"repro/internal/privilege"
+)
+
+// SpecFromSnapshot assembles the account.Spec of an entire snapshot:
+// every object, edge and surrogate, with the same labeling and
+// policy-threshold translation the lineage engine applies to a fetched
+// closure. PLUSQL builds its viewer-protected query views from this, so
+// declarative queries and lineage queries protect records identically.
+// Records are added in sorted object order, keeping the spec (and
+// everything derived from it) deterministic.
+func SpecFromSnapshot(sn *Snapshot, lattice *privilege.Lattice) (*account.Spec, error) {
+	f := &fetched{objects: sn.Objects()}
+	sort.Slice(f.objects, func(i, j int) bool { return f.objects[i].ID < f.objects[j].ID })
+	for _, o := range f.objects {
+		// Out covers each edge exactly once (edges are keyed by From).
+		f.edges = append(f.edges, sn.Out(o.ID)...)
+		f.surrogates = append(f.surrogates, sn.Surrogates(o.ID)...)
+	}
+	return buildSpec(lattice, f)
+}

@@ -1,0 +1,173 @@
+package plusql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a 1-based line/column position in the query source.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// ParseError is a syntax or semantic error tagged with where it happened.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("plusql: parse error at %s: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos Pos, format string, args ...interface{}) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Term is one argument of an atom: a variable or a string constant.
+type Term struct {
+	Pos   Pos
+	IsVar bool
+	// Text is the variable name or the constant value.
+	Text string
+}
+
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Text
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Predicate names. Starred predicates are the transitive closures.
+const (
+	PredNode        = "node"
+	PredKind        = "kind"
+	PredName        = "name"
+	PredAttr        = "attr"
+	PredSurrogate   = "surrogate"
+	PredEdge        = "edge"
+	PredAncestor    = "ancestor"
+	PredDescendant  = "descendant"
+	PredAncestorT   = "ancestor*"
+	PredDescendantT = "descendant*"
+)
+
+// arities maps each predicate to its admissible argument counts.
+var arities = map[string][]int{
+	PredNode:        {1},
+	PredKind:        {2},
+	PredName:        {2},
+	PredAttr:        {3},
+	PredSurrogate:   {1},
+	PredEdge:        {2, 3},
+	PredAncestor:    {2},
+	PredDescendant:  {2},
+	PredAncestorT:   {2},
+	PredDescendantT: {2},
+}
+
+// nodePositions maps each predicate to the argument indexes that denote
+// nodes (and therefore may be variables); all other positions must be
+// constants.
+var nodePositions = map[string][]int{
+	PredNode:        {0},
+	PredKind:        {0},
+	PredName:        {0},
+	PredAttr:        {0},
+	PredSurrogate:   {0},
+	PredEdge:        {0, 1},
+	PredAncestor:    {0, 1},
+	PredDescendant:  {0, 1},
+	PredAncestorT:   {0, 1},
+	PredDescendantT: {0, 1},
+}
+
+// Atom is one body conjunct: pred(arg, ...).
+type Atom struct {
+	Pos  Pos
+	Pred string
+	Args []Term
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// isNodePos reports whether argument i of the atom is a node position.
+func (a Atom) isNodePos(i int) bool {
+	for _, p := range nodePositions[a.Pred] {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Query is a parsed PLUSQL query.
+type Query struct {
+	// Head holds the projected variable names; nil means "all variables
+	// in order of first appearance in the body".
+	Head []string
+	// HeadName is the head predicate's name ("ans" in "ans(X) :- ...");
+	// empty when the query has no head.
+	HeadName string
+	// headTerms retains the head's parsed terms for error positions.
+	headTerms []Term
+	Atoms     []Atom
+	// Limit bounds the result rows; 0 means unbounded.
+	Limit int
+}
+
+// Vars returns the query's variables in order of first appearance in the
+// body.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar && !seen[t.Text] {
+				seen[t.Text] = true
+				out = append(out, t.Text)
+			}
+		}
+	}
+	return out
+}
+
+// Projection returns the projected variables: the head when present,
+// otherwise all body variables in order of first appearance.
+func (q *Query) Projection() []string {
+	if q.Head != nil {
+		return q.Head
+	}
+	return q.Vars()
+}
+
+func (q *Query) String() string {
+	var sb strings.Builder
+	if q.Head != nil {
+		name := q.HeadName
+		if name == "" {
+			name = "ans"
+		}
+		sb.WriteString(name + "(" + strings.Join(q.Head, ", ") + ") :- ")
+	}
+	for i, a := range q.Atoms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " limit %d", q.Limit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,174 @@
+package plusql
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+// clientError marks evaluation failures the caller caused (bad viewer or
+// mode), as opposed to backend/materialisation faults; the HTTP layer
+// maps the former to 400 and the latter to 5xx.
+type clientError struct{ err error }
+
+func (e clientError) Error() string { return e.err.Error() }
+func (e clientError) Unwrap() error { return e.err }
+
+// IsClientError reports whether err was caused by the request itself
+// (syntax, unknown viewer, unknown mode) rather than by the server.
+func IsClientError(err error) bool {
+	var pe *ParseError
+	var ce clientError
+	return errors.As(err, &pe) || errors.As(err, &ce)
+}
+
+// Options tune one query evaluation.
+type Options struct {
+	// Viewer is the consumer's privilege-predicate; empty means Public.
+	Viewer privilege.Predicate
+	// Mode picks the protection generator backing the view: surrogate
+	// (default) or hide.
+	Mode plus.Mode
+	// MaxRows caps the result size regardless of the query's own limit
+	// (0 = no cap); servers use it to bound response bodies.
+	MaxRows int
+	// Naive disables atom reordering and predicate pushdown, evaluating
+	// the query by scan-and-filter in source order. A benchmarking and
+	// debugging knob, not a serving mode.
+	Naive bool
+	// Explain attaches the executed plan's rendering to the result.
+	Explain bool
+}
+
+// Engine compiles and runs PLUSQL queries against a storage backend.
+// Each evaluation pins one immutable Backend.Snapshot — no store lock is
+// held at any point — and runs against the cached protected view for
+// (snapshot revision, viewer, mode), so repeated queries by the same
+// class of consumer share the account materialisation. Engine is safe
+// for concurrent use.
+//
+// The whole-snapshot view is what makes arbitrary conjunctive queries
+// policy-sound without per-binding checks, but it is invalidated by any
+// write (like CachedEngine's lineage cache): under a write-heavy mix the
+// first query after each write pays an O(store) account rebuild.
+// Incremental view maintenance is the known follow-up for that workload.
+type Engine struct {
+	store   plus.Backend
+	lattice *privilege.Lattice
+
+	mu    sync.Mutex
+	views map[viewKey]*View
+}
+
+type viewKey struct {
+	rev    uint64
+	viewer privilege.Predicate
+	mode   plus.Mode
+}
+
+// NewEngine binds a backend to the lattice its privilege nicknames refer
+// to.
+func NewEngine(store plus.Backend, lattice *privilege.Lattice) *Engine {
+	return &Engine{store: store, lattice: lattice, views: map[viewKey]*View{}}
+}
+
+// Lattice returns the engine's privilege lattice.
+func (e *Engine) Lattice() *privilege.Lattice { return e.lattice }
+
+// view returns the cached protected view for (current revision, viewer,
+// mode), building it from a fresh snapshot on miss and evicting views of
+// older revisions.
+func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, error) {
+	sn, err := e.store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	key := viewKey{rev: sn.Revision(), viewer: viewer, mode: mode}
+	e.mu.Lock()
+	v, ok := e.views[key]
+	e.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	v, err = NewView(sn, e.lattice, viewer, mode)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	// Keep whichever view won a concurrent build race so callers share
+	// one closure memo; and never let a slow build for an old revision
+	// evict or displace views of a newer one.
+	switch won, ok := e.views[key]; {
+	case ok:
+		v = won
+	case e.newestCached() > key.rev:
+		// Stale build: serve it to this caller but don't cache it.
+	default:
+		for k := range e.views {
+			if k.rev < key.rev {
+				delete(e.views, k)
+			}
+		}
+		e.views[key] = v
+	}
+	e.mu.Unlock()
+	return v, nil
+}
+
+// newestCached reports the highest revision in the view cache (0 when
+// empty). Callers must hold e.mu.
+func (e *Engine) newestCached() uint64 {
+	var newest uint64
+	for k := range e.views {
+		if k.rev > newest {
+			newest = k.rev
+		}
+	}
+	return newest
+}
+
+// Query parses, plans and executes one PLUSQL query.
+func (e *Engine) Query(src string, opts Options) (*ResultSet, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q, opts)
+}
+
+// Run plans and executes an already-parsed query.
+func (e *Engine) Run(q *Query, opts Options) (*ResultSet, error) {
+	viewer := opts.Viewer
+	if viewer == "" {
+		viewer = privilege.Public
+	}
+	mode := opts.Mode
+	if mode == "" {
+		mode = plus.ModeSurrogate
+	}
+	if mode != plus.ModeSurrogate && mode != plus.ModeHide {
+		return nil, clientError{fmt.Errorf("plusql: unknown mode %q", mode)}
+	}
+	if !e.lattice.Known(viewer) {
+		return nil, clientError{fmt.Errorf("plusql: unknown viewer predicate %q", viewer)}
+	}
+	v, err := e.view(viewer, mode)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := Compile(q, ViewStats(v), opts.Naive)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := run(plan, v, opts.MaxRows)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Explain {
+		rs.Plan = plan.Explain()
+	}
+	return rs, nil
+}

@@ -1,0 +1,68 @@
+package plusql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePLUSQL asserts the parser never panics, and that every error
+// is a *ParseError with a sane position. Parsed queries must re-parse
+// from their String() rendering (print/parse round trip).
+func FuzzParsePLUSQL(f *testing.F) {
+	seeds := []string{
+		`ancestor*(X, "report"), kind(X, data) limit 10`,
+		`ans(X, Y) :- edge(X, Y, "input-to"), attr(X, "owner", "alice")`,
+		`node(X)`,
+		`surrogate(S), descendant*(S, "src")`,
+		`edge(X, Y), edge(Y, Z), kind(Z, invocation) limit 3`,
+		`name(X, "a \"quoted\" name")`,
+		`kind(X, Y)`,
+		`ans() :-`,
+		`node(X,`,
+		`limit`,
+		`ancestor*(`,
+		"node(X),\nkind(X, data)",
+		`node("ユニコード")`,
+		`node(X) limit 999999999999999999999`,
+		`:-`,
+		`"just a string"`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("Parse(%q): error %T lacks a position: %v", src, err, err)
+			}
+			if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+				t.Fatalf("Parse(%q): bad error position %s", src, pe.Pos)
+			}
+			if !strings.Contains(pe.Error(), pe.Pos.String()) {
+				t.Fatalf("Parse(%q): message %q omits position", src, pe.Error())
+			}
+			return
+		}
+		if len(q.Atoms) == 0 {
+			t.Fatalf("Parse(%q): success with no atoms", src)
+		}
+		// Round trip: the rendering of a valid query parses back.
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q): round trip of %q failed: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("Parse(%q): unstable rendering %q vs %q", src, rendered, q2.String())
+		}
+		// Compilation of any parsed query must not panic either.
+		if _, err := Compile(q, testStats, false); err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		if _, err := Compile(q, testStats, true); err != nil {
+			t.Fatalf("Compile naive(%q): %v", src, err)
+		}
+	})
+}

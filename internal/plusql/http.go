@@ -1,0 +1,143 @@
+package plusql
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Query is the PLUSQL source text.
+	Query string `json:"query"`
+	// Viewer is the consumer's privilege-predicate (default Public).
+	Viewer string `json:"viewer,omitempty"`
+	// Mode is "surrogate" (default) or "hide".
+	Mode string `json:"mode,omitempty"`
+	// Limit caps result rows in addition to the query's own limit.
+	Limit int `json:"limit,omitempty"`
+	// Explain attaches the executed plan to the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// QueryResponse is the answer to POST /v1/query.
+type QueryResponse struct {
+	Query  string      `json:"query"`
+	Viewer string      `json:"viewer"`
+	Mode   string      `json:"mode"`
+	Vars   []string    `json:"vars"`
+	Rows   [][]Binding `json:"rows"`
+	// Truncated reports that more rows were available than returned —
+	// the request's limit (or the server's cap) cut the enumeration
+	// short. The query's own in-text "limit" never sets it.
+	Truncated bool      `json:"truncated,omitempty"`
+	Plan      string    `json:"plan,omitempty"`
+	Stats     ExecStats `json:"stats"`
+	TookUS    int64     `json:"tookUs"`
+}
+
+// serverMaxRows bounds response sizes for unlimited queries over big
+// stores; clients page with explicit limits.
+const serverMaxRows = 10000
+
+// maxQueryBytes bounds POST /v1/query bodies; query text is tiny.
+const maxQueryBytes = 1 << 16
+
+// NewHandler serves PLUSQL over HTTP: POST /v1/query with a QueryRequest
+// body. Errors are the API's standard {"error": ...} JSON; parse errors
+// carry their line:column position in the message.
+func NewHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			plus.MethodNotAllowed(w, http.MethodPost)
+			return
+		}
+		var req QueryRequest
+		if err := plus.DecodeJSONBody(w, r, maxQueryBytes, &req); err != nil {
+			writeQueryError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Query == "" {
+			writeQueryError(w, http.StatusBadRequest, fmt.Errorf("plusql: empty query"))
+			return
+		}
+		limit := req.Limit
+		if limit <= 0 || limit > serverMaxRows {
+			limit = serverMaxRows
+		}
+		t0 := time.Now()
+		// Ask for one row beyond the cap so a full page is
+		// distinguishable from a truncated one.
+		rs, err := e.Query(req.Query, Options{
+			Viewer:  privilege.Predicate(req.Viewer),
+			Mode:    plus.Mode(req.Mode),
+			MaxRows: limit + 1,
+			Explain: req.Explain,
+		})
+		if err != nil {
+			// Request faults are 400; backend/materialisation faults are
+			// the server's problem.
+			status := http.StatusInternalServerError
+			switch {
+			case IsClientError(err):
+				status = http.StatusBadRequest
+			case errors.Is(err, plus.ErrClosed):
+				status = http.StatusServiceUnavailable
+			}
+			writeQueryError(w, status, err)
+			return
+		}
+		viewer := req.Viewer
+		if viewer == "" {
+			viewer = string(privilege.Public)
+		}
+		mode := req.Mode
+		if mode == "" {
+			mode = string(plus.ModeSurrogate)
+		}
+		truncated := false
+		if len(rs.Rows) > limit {
+			rs.Rows = rs.Rows[:limit]
+			rs.Stats.Rows = limit
+			truncated = true
+		}
+		resp := QueryResponse{
+			Query:     req.Query,
+			Viewer:    viewer,
+			Mode:      mode,
+			Vars:      rs.Vars,
+			Rows:      rs.Rows,
+			Truncated: truncated,
+			Plan:      rs.Plan,
+			Stats:     rs.Stats,
+			TookUS:    time.Since(t0).Microseconds(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+func writeQueryError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// Attach mounts the query endpoint on a plus server.
+func Attach(s *plus.Server, e *Engine) { s.Handle("/v1/query", NewHandler(e)) }
+
+// ClientQuery runs one PLUSQL query against a remote plusd server through
+// the standard plus client.
+func ClientQuery(c *plus.Client, req QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.PostJSON("/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,139 @@
+package plusql
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *plus.Client) {
+	t.Helper()
+	be := exampleBackend(t)
+	lat := privilege.TwoLevel()
+	srv := plus.NewServer(plus.NewEngine(be, lat))
+	Attach(srv, NewEngine(be, lat))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, plus.NewClient(ts.URL)
+}
+
+func TestHTTPQuery(t *testing.T) {
+	_, c := testServer(t)
+	resp, err := ClientQuery(c, QueryRequest{
+		Query:   `ancestor*(X, "b"), kind(X, data)`,
+		Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Viewer != "Public" || resp.Mode != "surrogate" {
+		t.Errorf("defaults: viewer=%q mode=%q", resp.Viewer, resp.Mode)
+	}
+	// Public ancestors of b are {a, d, p~}; the kind(X, data) filter
+	// drops the surrogate (its released kind is invocation).
+	if len(resp.Rows) != 2 {
+		t.Errorf("rows = %+v, want exactly [a d]", resp.Rows)
+	}
+	for _, row := range resp.Rows {
+		for _, bnd := range row {
+			if bnd.ID == "p" || bnd.ID == "c" {
+				t.Errorf("policy leak over HTTP: %q", bnd.ID)
+			}
+		}
+	}
+	if !strings.Contains(resp.Plan, "plan (planned):") {
+		t.Errorf("explain missing plan: %q", resp.Plan)
+	}
+	if resp.Stats.Examined == 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestHTTPQueryViewer(t *testing.T) {
+	_, c := testServer(t)
+	resp, err := ClientQuery(c, QueryRequest{Query: `ancestor*(X, "b")`, Viewer: "Protected"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, row := range resp.Rows {
+		found[row[0].ID] = true
+	}
+	for _, want := range []string{"a", "c", "d", "p"} {
+		if !found[want] {
+			t.Errorf("Protected viewer missing %q in %v", want, found)
+		}
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	ts, c := testServer(t)
+
+	// Parse errors surface as 400 with the position in the message.
+	_, err := ClientQuery(c, QueryRequest{Query: `bogus(X)`})
+	if err == nil || !strings.Contains(err.Error(), "1:1") {
+		t.Errorf("parse error lost position: %v", err)
+	}
+	if _, err := ClientQuery(c, QueryRequest{Query: ``}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := ClientQuery(c, QueryRequest{Query: `node(X)`, Viewer: "Nobody"}); err == nil {
+		t.Error("unknown viewer accepted")
+	}
+
+	// Method not allowed is JSON with an Allow header.
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", got)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+		t.Errorf("405 body not JSON error: %v %v", body, err)
+	}
+}
+
+func TestHTTPQueryLimit(t *testing.T) {
+	_, c := testServer(t)
+	resp, err := ClientQuery(c, QueryRequest{Query: `node(X)`, Viewer: "Protected", Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 {
+		t.Errorf("limit 2 returned %d rows", len(resp.Rows))
+	}
+	// More nodes existed, so the response says the page is partial.
+	if !resp.Truncated {
+		t.Error("truncated flag not set on a cut-short page")
+	}
+
+	// A limit wide enough for everything is not flagged.
+	resp, err = ClientQuery(c, QueryRequest{Query: `node(X)`, Viewer: "Protected", Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Error("truncated flag set on a complete result")
+	}
+
+	// The query's own in-text limit is the client's choice, not
+	// truncation.
+	resp, err = ClientQuery(c, QueryRequest{Query: `node(X) limit 2`, Viewer: "Protected"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 || resp.Truncated {
+		t.Errorf("in-text limit: rows=%d truncated=%v, want 2/false", len(resp.Rows), resp.Truncated)
+	}
+}

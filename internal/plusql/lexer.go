@@ -1,0 +1,175 @@
+package plusql
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokInt
+	tokComma
+	tokLParen
+	tokRParen
+	tokColonDash // ":-"
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokInt:
+		return "integer"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokColonDash:
+		return "':-'"
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	pos  Pos
+	// text is the identifier name, decoded string value, or integer
+	// literal.
+	text string
+}
+
+// lexer turns query source into tokens, tracking line/column positions.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *lexer) advance() rune {
+	r, size := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += size
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+
+func isIdentRest(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+// next returns the next token or a position-tagged error.
+func (lx *lexer) next() (token, error) {
+	for lx.off < len(lx.src) && unicode.IsSpace(lx.peek()) {
+		lx.advance()
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	r := lx.peek()
+	switch {
+	case r == ',':
+		lx.advance()
+		return token{kind: tokComma, pos: start, text: ","}, nil
+	case r == '(':
+		lx.advance()
+		return token{kind: tokLParen, pos: start, text: "("}, nil
+	case r == ')':
+		lx.advance()
+		return token{kind: tokRParen, pos: start, text: ")"}, nil
+	case r == ':':
+		lx.advance()
+		if lx.off >= len(lx.src) {
+			return token{}, errAt(start, "expected ':-', got ':' at end of query")
+		}
+		if lx.peek() != '-' {
+			return token{}, errAt(start, "expected ':-', got ':%c'", lx.peek())
+		}
+		lx.advance()
+		return token{kind: tokColonDash, pos: start, text: ":-"}, nil
+	case r == '"':
+		return lx.lexString(start)
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for lx.off < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			sb.WriteRune(lx.advance())
+		}
+		return token{kind: tokInt, pos: start, text: sb.String()}, nil
+	case isIdentStart(r):
+		var sb strings.Builder
+		sb.WriteRune(lx.advance())
+		for lx.off < len(lx.src) && isIdentRest(lx.peek()) {
+			sb.WriteRune(lx.advance())
+		}
+		// A trailing '*' belongs to the identifier: "ancestor*".
+		if lx.peek() == '*' {
+			sb.WriteRune(lx.advance())
+		}
+		return token{kind: tokIdent, pos: start, text: sb.String()}, nil
+	default:
+		return token{}, errAt(start, "unexpected character %q", r)
+	}
+}
+
+// lexString scans a double-quoted Go-style string literal.
+func (lx *lexer) lexString(start Pos) (token, error) {
+	var sb strings.Builder
+	sb.WriteRune(lx.advance()) // opening quote
+	for {
+		if lx.off >= len(lx.src) {
+			return token{}, errAt(start, "unterminated string")
+		}
+		r := lx.advance()
+		sb.WriteRune(r)
+		if r == '\\' {
+			if lx.off >= len(lx.src) {
+				return token{}, errAt(start, "unterminated string")
+			}
+			sb.WriteRune(lx.advance())
+			continue
+		}
+		if r == '"' {
+			break
+		}
+		if r == '\n' {
+			return token{}, errAt(start, "newline in string")
+		}
+	}
+	val, err := strconv.Unquote(sb.String())
+	if err != nil {
+		return token{}, errAt(start, "bad string literal %s", sb.String())
+	}
+	return token{kind: tokString, pos: start, text: val}, nil
+}

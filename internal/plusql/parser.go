@@ -1,0 +1,194 @@
+package plusql
+
+import "unicode"
+
+// Parse parses one PLUSQL query. Errors are *ParseError values carrying
+// the 1-based line:column position of the offending token.
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := check(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, errAt(p.tok.pos, "expected %s, got %q", k, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// isVarName reports whether an identifier denotes a variable (upper-case
+// first letter, datalog convention).
+func isVarName(name string) bool {
+	for _, r := range name {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	first, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokColonDash {
+		// The first group was the head: its args must all be variables.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		q.HeadName = first.Pred
+		q.Head = []string{}
+		q.headTerms = first.Args
+		for _, t := range first.Args {
+			if !t.IsVar {
+				return nil, errAt(t.Pos, "head argument %q must be a variable", t.Text)
+			}
+			q.Head = append(q.Head, t.Text)
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, a)
+	} else {
+		q.Atoms = append(q.Atoms, first)
+	}
+	for p.tok.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, a)
+	}
+	if p.tok.kind == tokIdent && p.tok.text == "limit" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		limit := 0
+		for _, d := range n.text {
+			limit = limit*10 + int(d-'0')
+			if limit > 1<<30 {
+				return nil, errAt(n.pos, "limit %s too large", n.text)
+			}
+		}
+		if limit == 0 {
+			return nil, errAt(n.pos, "limit must be positive")
+		}
+		q.Limit = limit
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errAt(p.tok.pos, "unexpected %q after query", p.tok.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pos: name.pos, Pred: name.text}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Atom{}, err
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		t := Term{Pos: p.tok.pos, Text: p.tok.text, IsVar: isVarName(p.tok.text)}
+		return t, p.advance()
+	case tokString:
+		t := Term{Pos: p.tok.pos, Text: p.tok.text}
+		return t, p.advance()
+	case tokInt:
+		t := Term{Pos: p.tok.pos, Text: p.tok.text}
+		return t, p.advance()
+	default:
+		return Term{}, errAt(p.tok.pos, "expected a term, got %q", p.tok.text)
+	}
+}
+
+// check validates predicates, arities, term positions and head safety.
+func check(q *Query) error {
+	bodyVars := map[string]bool{}
+	for _, a := range q.Atoms {
+		admissible, ok := arities[a.Pred]
+		if !ok {
+			return errAt(a.Pos, "unknown predicate %q", a.Pred)
+		}
+		arityOK := false
+		for _, n := range admissible {
+			if len(a.Args) == n {
+				arityOK = true
+			}
+		}
+		if !arityOK {
+			return errAt(a.Pos, "%s takes %v argument(s), got %d", a.Pred, admissible, len(a.Args))
+		}
+		for i, t := range a.Args {
+			if t.IsVar && !a.isNodePos(i) {
+				return errAt(t.Pos, "argument %d of %s must be a constant, got variable %s", i+1, a.Pred, t.Text)
+			}
+			if t.IsVar {
+				bodyVars[t.Text] = true
+			}
+		}
+	}
+	for i, v := range q.Head {
+		if !bodyVars[v] {
+			return errAt(q.headTerms[i].Pos, "head variable %s does not appear in the body", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package plusql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBareQuery(t *testing.T) {
+	q, err := Parse(`ancestor*(X, "report"), kind(X, data) limit 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms = %d, want 2", len(q.Atoms))
+	}
+	if q.Atoms[0].Pred != PredAncestorT {
+		t.Errorf("pred = %q, want ancestor*", q.Atoms[0].Pred)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit = %d, want 10", q.Limit)
+	}
+	if got := q.Projection(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("projection = %v, want [X]", got)
+	}
+	// Bare identifier and quoted string constants are interchangeable.
+	if q.Atoms[1].Args[1].IsVar || q.Atoms[1].Args[1].Text != "data" {
+		t.Errorf("kind constant = %+v", q.Atoms[1].Args[1])
+	}
+}
+
+func TestParseHeadProjection(t *testing.T) {
+	q, err := Parse(`ans(Y) :- edge(X, Y, "input-to"), kind(X, invocation)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HeadName != "ans" {
+		t.Errorf("head name = %q", q.HeadName)
+	}
+	if got := q.Projection(); len(got) != 1 || got[0] != "Y" {
+		t.Errorf("projection = %v, want [Y]", got)
+	}
+	if got := q.Vars(); len(got) != 2 {
+		t.Errorf("vars = %v, want [X Y]", got)
+	}
+}
+
+func TestParseRoundTripString(t *testing.T) {
+	src := `ans(X) :- attr(X, "owner", "alice \"a\""), node(X) limit 3`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round trip: %q != %q", q2.String(), q.String())
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantPos string
+		wantMsg string
+	}{
+		{`frobnicate(X)`, "1:1", "unknown predicate"},
+		{`kind(X)`, "1:1", "takes"},
+		{`kind(X, Y)`, "1:9", "must be a constant"},
+		{`node(X`, "1:7", "expected ')'"},
+		{`node(X) limit 0`, "1:15", "limit must be positive"},
+		{`node(X) garbage`, "1:9", "unexpected"},
+		{`ans(X) :- node(Y)`, "1:5", "does not appear in the body"},
+		{`ans("c") :- node(X)`, "1:5", "must be a variable"},
+		{`node(X), edge(X, "unterminated`, "1:18", "unterminated string"},
+		{`node(⊥!)`, "1:6", "unexpected character"},
+		{`node(X) :`, "1:9", "end of query"},
+		{``, "1:1", "expected"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): no error", tc.src)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("Parse(%q): error %T is not *ParseError: %v", tc.src, err, err)
+			continue
+		}
+		if pe.Pos.String() != tc.wantPos {
+			t.Errorf("Parse(%q): pos = %s, want %s (%v)", tc.src, pe.Pos, tc.wantPos, err)
+		}
+		if !strings.Contains(pe.Msg, tc.wantMsg) {
+			t.Errorf("Parse(%q): msg = %q, want contains %q", tc.src, pe.Msg, tc.wantMsg)
+		}
+	}
+}
+
+func TestParseMultiline(t *testing.T) {
+	q, err := Parse("node(X),\n  kind(X, data)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[1].Pos.Line != 2 || q.Atoms[1].Pos.Col != 3 {
+		t.Errorf("second atom at %s, want 2:3", q.Atoms[1].Pos)
+	}
+	if _, err := Parse("node(X),\n  bogus(X)"); err == nil {
+		t.Fatal("no error for unknown predicate")
+	} else if pe := err.(*ParseError); pe.Pos.Line != 2 {
+		t.Errorf("error at %s, want line 2", pe.Pos)
+	}
+}

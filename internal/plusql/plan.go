@@ -1,0 +1,337 @@
+package plusql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// StepKind classifies how one plan step is executed.
+type StepKind int
+
+const (
+	// StepScan enumerates candidate nodes for a fresh variable, either
+	// over the whole view or over a kind index, applying pushed
+	// predicates inline.
+	StepScan StepKind = iota
+	// StepExpand binds a fresh variable from an already-bound node via an
+	// edge or transitive-closure atom.
+	StepExpand
+	// StepScanPair enumerates node pairs for an edge/closure atom with
+	// both sides unbound (the planner avoids this unless the query forces
+	// it).
+	StepScanPair
+	// StepCheck verifies an atom whose node arguments are all bound.
+	StepCheck
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepScan:
+		return "scan"
+	case StepExpand:
+		return "expand"
+	case StepScanPair:
+		return "scan-pair"
+	case StepCheck:
+		return "check"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step is one operator of a compiled plan.
+type Step struct {
+	Atom Atom
+	Kind StepKind
+	// Slot is the variable slot this step binds (-1 for checks). Pair
+	// scans additionally bind Slot2.
+	Slot  int
+	Slot2 int
+	// ScanKind, when non-empty, restricts a StepScan to the view's kind
+	// index instead of the full node list.
+	ScanKind string
+	// Pushed holds filter atoms folded down into this step; they are
+	// applied to each candidate before the binding is extended.
+	Pushed []Atom
+	// Est is the planner's work estimate (candidate bindings examined).
+	Est float64
+}
+
+// Plan is an ordered pipeline of steps plus the projection and limit.
+type Plan struct {
+	Vars   []string // slot -> variable name
+	slotOf map[string]int
+	Proj   []int // projected slots, in projection order
+	Steps  []Step
+	Limit  int
+	Naive  bool
+}
+
+// Stats is the per-view cardinality information the planner orders atoms
+// with.
+type Stats struct {
+	Nodes  int
+	Edges  int
+	ByKind map[string]int
+}
+
+// ViewStats extracts planner statistics from a view.
+func ViewStats(v *View) Stats {
+	by := make(map[string]int, len(v.byKind))
+	for k, ids := range v.byKind {
+		by[k] = len(ids)
+	}
+	return Stats{Nodes: v.NumNodes(), Edges: v.NumEdges(), ByKind: by}
+}
+
+// isFilterAtom reports whether an atom is a pure single-node filter
+// (pushable into the step that generates its variable).
+func isFilterAtom(a Atom) bool {
+	switch a.Pred {
+	case PredKind, PredName, PredAttr, PredSurrogate, PredNode:
+		return true
+	}
+	return false
+}
+
+// closurePred reports whether the predicate is a transitive closure.
+func closurePred(p string) bool { return p == PredAncestorT || p == PredDescendantT }
+
+// Compile lowers a parsed query to an executable plan against a view with
+// the given statistics. In planned mode (naive=false) atoms are greedily
+// ordered by estimated work given the bindings accumulated so far, and
+// kind/name/attr/surrogate predicates are pushed down into the scans and
+// expansions that generate their variable. In naive mode the atoms run in
+// source order with full scan-and-filter generators and no pushdown —
+// the baseline the benchmarks compare against.
+func Compile(q *Query, st Stats, naive bool) (*Plan, error) {
+	vars := q.Vars()
+	p := &Plan{Vars: vars, slotOf: map[string]int{}, Limit: q.Limit, Naive: naive}
+	for i, v := range vars {
+		p.slotOf[v] = i
+	}
+	for _, v := range q.Projection() {
+		p.Proj = append(p.Proj, p.slotOf[v])
+	}
+
+	bound := map[string]bool{}
+	remaining := append([]Atom(nil), q.Atoms...)
+	for len(remaining) > 0 {
+		pick := 0
+		if !naive {
+			best := estimate(remaining[0], bound, st, naive)
+			for i := 1; i < len(remaining); i++ {
+				if e := estimate(remaining[i], bound, st, naive); e < best {
+					best, pick = e, i
+				}
+			}
+		}
+		a := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		step := lower(a, bound, p.slotOf, st, naive)
+		for _, t := range a.Args {
+			if t.IsVar {
+				bound[t.Text] = true
+			}
+		}
+		p.Steps = append(p.Steps, step)
+	}
+
+	if !naive {
+		pushDown(p)
+	}
+	return p, nil
+}
+
+// estimate guesses the work (candidates examined) of evaluating the atom
+// next, given the currently bound variables.
+func estimate(a Atom, bound map[string]bool, st Stats, naive bool) float64 {
+	n := float64(st.Nodes)
+	if n < 1 {
+		n = 1
+	}
+	avgDeg := float64(st.Edges) / n
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	unboundNodes := 0
+	for i, t := range a.Args {
+		if a.isNodePos(i) && t.IsVar && !bound[t.Text] {
+			unboundNodes++
+		}
+	}
+	switch {
+	case unboundNodes == 0:
+		// Pure check; run as early as possible.
+		return 1
+	case isFilterAtom(a):
+		if a.Pred == PredKind && !naive {
+			if c, ok := st.ByKind[a.Args[1].Text]; ok {
+				return float64(c)
+			}
+			return 1 // unknown kind: empty index
+		}
+		if a.Pred == PredNode {
+			return n
+		}
+		// Full scan with an inline filter.
+		return n
+	case closurePred(a.Pred):
+		if unboundNodes == 1 {
+			// One closure enumeration from the bound side.
+			return n / 4
+		}
+		return n * n / 4
+	default: // edge / ancestor / descendant
+		if unboundNodes == 1 {
+			return avgDeg
+		}
+		return float64(st.Edges)
+	}
+}
+
+// lower turns one atom into a step given the current bindings.
+func lower(a Atom, bound map[string]bool, slotOf map[string]int, st Stats, naive bool) Step {
+	step := Step{Atom: a, Slot: -1, Slot2: -1, Est: estimate(a, bound, st, naive)}
+	var unbound []int // arg indexes of unbound node variables
+	for i, t := range a.Args {
+		if a.isNodePos(i) && t.IsVar && !bound[t.Text] {
+			unbound = append(unbound, i)
+		}
+	}
+	switch {
+	case len(unbound) == 0:
+		step.Kind = StepCheck
+	case isFilterAtom(a):
+		step.Kind = StepScan
+		step.Slot = slotOf[a.Args[unbound[0]].Text]
+		if a.Pred == PredKind && !naive {
+			step.ScanKind = a.Args[1].Text
+		} else if a.Pred != PredNode {
+			// The generating atom itself filters the scan (naive mode
+			// keeps kind() here too: full scan, filter after).
+			step.Pushed = append(step.Pushed, a)
+		}
+	case len(unbound) == 1:
+		step.Kind = StepExpand
+		step.Slot = slotOf[a.Args[unbound[0]].Text]
+	default:
+		step.Kind = StepScanPair
+		step.Slot = slotOf[a.Args[unbound[0]].Text]
+		step.Slot2 = slotOf[a.Args[unbound[1]].Text]
+	}
+	return step
+}
+
+// pushDown folds later single-variable filter checks into the step that
+// generates their variable, so candidates are rejected before the binding
+// ever extends. A kind() check pushed into an index-less scan upgrades
+// the scan to the kind index.
+func pushDown(p *Plan) {
+	genOf := map[int]int{} // slot -> index of generating step
+	for i, s := range p.Steps {
+		if s.Slot >= 0 {
+			genOf[s.Slot] = i
+		}
+		if s.Slot2 >= 0 {
+			genOf[s.Slot2] = i
+		}
+	}
+	out := make([]Step, 0, len(p.Steps))
+	for i, s := range p.Steps {
+		// Only variable filters fold into a generator; an all-constant
+		// check (e.g. node("id")) stays a standalone step.
+		if s.Kind != StepCheck || !isFilterAtom(s.Atom) || !s.Atom.Args[0].IsVar {
+			out = append(out, s)
+			continue
+		}
+		slot := p.slotOf[s.Atom.Args[0].Text]
+		gi, ok := genOf[slot]
+		if !ok || gi >= i {
+			out = append(out, s)
+			continue
+		}
+		// Fold into the generator (steps are addressed by identity in
+		// out: the generator precedes i and was already appended).
+		for j := range out {
+			if out[j].Slot == slot || out[j].Slot2 == slot {
+				if s.Atom.Pred == PredKind && out[j].Kind == StepScan && out[j].ScanKind == "" {
+					out[j].ScanKind = s.Atom.Args[1].Text
+				} else if s.Atom.Pred != PredNode {
+					out[j].Pushed = append(out[j].Pushed, s.Atom)
+				}
+				break
+			}
+		}
+	}
+	p.Steps = out
+}
+
+// Explain renders the plan deterministically for logs and golden tests.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	mode := "planned"
+	if p.Naive {
+		mode = "naive"
+	}
+	fmt.Fprintf(&sb, "plan (%s):\n", mode)
+	for i, s := range p.Steps {
+		fmt.Fprintf(&sb, "  %d. %s", i+1, s.Kind)
+		switch s.Kind {
+		case StepScan:
+			fmt.Fprintf(&sb, " %s", p.Vars[s.Slot])
+			if s.ScanKind != "" {
+				fmt.Fprintf(&sb, " [kind=%s]", s.ScanKind)
+			}
+			if s.Atom.Pred != PredKind || s.ScanKind == "" {
+				fmt.Fprintf(&sb, " via %s", s.Atom)
+			}
+		case StepExpand:
+			fmt.Fprintf(&sb, " %s via %s", p.Vars[s.Slot], s.Atom)
+		case StepScanPair:
+			fmt.Fprintf(&sb, " (%s, %s) via %s", p.Vars[s.Slot], p.Vars[s.Slot2], s.Atom)
+		case StepCheck:
+			fmt.Fprintf(&sb, " %s", s.Atom)
+		}
+		if len(s.Pushed) > 0 {
+			push := make([]string, len(s.Pushed))
+			for j, a := range s.Pushed {
+				push[j] = a.String()
+			}
+			sort.Strings(push)
+			fmt.Fprintf(&sb, " push[%s]", strings.Join(push, "; "))
+		}
+		fmt.Fprintf(&sb, " (est %g)\n", s.Est)
+	}
+	if p.Limit > 0 {
+		fmt.Fprintf(&sb, "  limit %d\n", p.Limit)
+	}
+	proj := make([]string, len(p.Proj))
+	for i, s := range p.Proj {
+		proj[i] = p.Vars[s]
+	}
+	fmt.Fprintf(&sb, "  project %s\n", strings.Join(proj, ", "))
+	return sb.String()
+}
+
+// expandDirection resolves how a one-side-bound edge/closure atom expands:
+// which argument is bound, which direction the traversal runs, and the
+// traversal primitive (adjacency vs reachability). Used by the executor.
+func expandDirection(a Atom, boundArg int) graph.Direction {
+	// Edges run along dataflow From -> To. ancestor(X, Y) / edge(X, Y):
+	// X -> Y. descendant(X, Y): Y -> X.
+	forwardAtom := a.Pred != PredDescendant && a.Pred != PredDescendantT
+	if forwardAtom {
+		if boundArg == 0 {
+			return graph.Forward
+		}
+		return graph.Backward
+	}
+	if boundArg == 0 {
+		return graph.Backward
+	}
+	return graph.Forward
+}

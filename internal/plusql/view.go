@@ -1,0 +1,204 @@
+package plusql
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+// View is the viewer-protected, immutable face a query executes against:
+// the protected account of one storage snapshot for one viewer, plus the
+// indexes the planner pushes predicates into. Everything a query can bind
+// is a node or edge of this account, so results are policy-safe by
+// construction — a hidden original simply is not here, and a surrogated
+// original appears only as its surrogate.
+//
+// A View is built once per (snapshot revision, viewer, mode) and shared
+// between queries; all exported methods are safe for concurrent use.
+type View struct {
+	rev    uint64
+	viewer privilege.Predicate
+	mode   plus.Mode
+
+	acct *account.Account
+
+	nodes  []graph.NodeID              // all account nodes, sorted
+	byKind map[string][]graph.NodeID   // "kind" feature -> sorted nodes
+	out    map[graph.NodeID][]Neighbor // adjacency, sorted by neighbour
+	in     map[graph.NodeID][]Neighbor
+	edges  int
+
+	mu        sync.Mutex
+	fwdReach  map[graph.NodeID][]graph.NodeID
+	backReach map[graph.NodeID][]graph.NodeID
+}
+
+// Neighbor is one adjacency entry of a view node.
+type Neighbor struct {
+	To    graph.NodeID // the far endpoint
+	Label string
+}
+
+// NewView materialises the protected account of a snapshot for a viewer.
+// mode selects the account generator: plus.ModeSurrogate (default) runs
+// the Surrogate Generation Algorithm, plus.ModeHide the all-or-nothing
+// baseline.
+func NewView(sn *plus.Snapshot, lattice *privilege.Lattice, viewer privilege.Predicate, mode plus.Mode) (*View, error) {
+	if viewer == "" {
+		viewer = privilege.Public
+	}
+	if mode == "" {
+		mode = plus.ModeSurrogate
+	}
+	if !lattice.Known(viewer) {
+		return nil, fmt.Errorf("plusql: unknown viewer predicate %q", viewer)
+	}
+	spec, err := plus.SpecFromSnapshot(sn, lattice)
+	if err != nil {
+		return nil, err
+	}
+	var acct *account.Account
+	switch mode {
+	case plus.ModeSurrogate:
+		acct, err = account.Generate(spec, viewer)
+	case plus.ModeHide:
+		acct, err = account.GenerateHide(spec, viewer)
+	default:
+		err = fmt.Errorf("plusql: unknown mode %q", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	v := &View{
+		rev:       sn.Revision(),
+		viewer:    viewer,
+		mode:      mode,
+		acct:      acct,
+		byKind:    map[string][]graph.NodeID{},
+		out:       map[graph.NodeID][]Neighbor{},
+		in:        map[graph.NodeID][]Neighbor{},
+		fwdReach:  map[graph.NodeID][]graph.NodeID{},
+		backReach: map[graph.NodeID][]graph.NodeID{},
+	}
+	v.nodes = acct.Graph.Nodes() // sorted
+	for _, id := range v.nodes {
+		n, _ := acct.Graph.NodeByID(id)
+		if k := n.Features["kind"]; k != "" {
+			v.byKind[k] = append(v.byKind[k], id)
+		}
+	}
+	for _, e := range acct.Graph.Edges() { // sorted by (From, To)
+		v.out[e.From] = append(v.out[e.From], Neighbor{To: e.To, Label: e.Label})
+		v.in[e.To] = append(v.in[e.To], Neighbor{To: e.From, Label: e.Label})
+		v.edges++
+	}
+	for id := range v.in {
+		es := v.in[id]
+		sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+	}
+	return v, nil
+}
+
+// Revision reports the snapshot revision the view was built from.
+func (v *View) Revision() uint64 { return v.rev }
+
+// Viewer reports the privilege-predicate the view protects for.
+func (v *View) Viewer() privilege.Predicate { return v.viewer }
+
+// Account exposes the underlying protected account (read-only). The
+// spec it was generated from is deliberately not retained: cached views
+// would otherwise hold a second whole-store copy of the graph, labeling
+// and policy (rebuild one with plus.SpecFromSnapshot when needed).
+func (v *View) Account() *account.Account { return v.acct }
+
+// NumNodes reports how many nodes the viewer may see.
+func (v *View) NumNodes() int { return len(v.nodes) }
+
+// NumEdges reports how many edges the viewer may see.
+func (v *View) NumEdges() int { return v.edges }
+
+// KindCount reports how many visible nodes carry the kind feature k.
+func (v *View) KindCount(k string) int { return len(v.byKind[k]) }
+
+// Nodes returns all visible nodes in sorted order. Callers must not
+// mutate the returned slice.
+func (v *View) Nodes() []graph.NodeID { return v.nodes }
+
+// NodesByKind returns the visible nodes whose "kind" feature equals k,
+// sorted. Callers must not mutate the returned slice.
+func (v *View) NodesByKind(k string) []graph.NodeID { return v.byKind[k] }
+
+// Has reports whether id is a visible node.
+func (v *View) Has(id graph.NodeID) bool { return v.acct.Graph.HasNode(id) }
+
+// Features returns a visible node's features (nil for unknown ids).
+// Surrogate nodes expose only the provider-released surrogate features.
+func (v *View) Features(id graph.NodeID) graph.Features {
+	n, ok := v.acct.Graph.NodeByID(id)
+	if !ok {
+		return nil
+	}
+	return n.Features
+}
+
+// IsSurrogate reports whether a visible node is a surrogate.
+func (v *View) IsSurrogate(id graph.NodeID) bool {
+	_, ok := v.acct.SurrogateNodes[id]
+	return ok
+}
+
+// Out returns id's outgoing (to, label) pairs sorted by neighbour.
+func (v *View) Out(id graph.NodeID) []Neighbor { return v.out[id] }
+
+// In returns id's incoming (from, label) pairs sorted by neighbour.
+func (v *View) In(id graph.NodeID) []Neighbor { return v.in[id] }
+
+// HasEdge reports a direct visible edge from -> to and its label.
+func (v *View) HasEdge(from, to graph.NodeID) (string, bool) {
+	e, ok := v.acct.Graph.EdgeByID(graph.EdgeID{From: from, To: to})
+	if !ok {
+		return "", false
+	}
+	return e.Label, true
+}
+
+// Reach returns the nodes reachable from id over 1+ visible hops in the
+// given direction (graph.Forward for descendants, graph.Backward for
+// ancestors), sorted, excluding id itself. Closures are memoised on the
+// view, so repeated transitive atoms over hot nodes are index lookups.
+func (v *View) Reach(id graph.NodeID, dir graph.Direction) []graph.NodeID {
+	memo := v.fwdReach
+	if dir == graph.Backward {
+		memo = v.backReach
+	}
+	v.mu.Lock()
+	got, ok := memo[id]
+	v.mu.Unlock()
+	if ok {
+		return got
+	}
+	set := v.acct.Graph.Reachable(id, dir)
+	out := make([]graph.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	v.mu.Lock()
+	memo[id] = out
+	v.mu.Unlock()
+	return out
+}
+
+// CanReach reports whether to is reachable from from over 1+ visible
+// hops.
+func (v *View) CanReach(from, to graph.NodeID) bool {
+	reach := v.Reach(from, graph.Forward)
+	i := sort.Search(len(reach), func(i int) bool { return reach[i] >= to })
+	return i < len(reach) && reach[i] == to
+}
