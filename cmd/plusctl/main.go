@@ -40,6 +40,7 @@ var commands = []struct{ name, synopsis string }{
 	{"lineage", `lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]`},
 	{"query", `query [-viewer P] [-mode surrogate|hide] [-limit N] [-format table|json] [-explain] 'PLUSQL query'`},
 	{"stats", `stats`},
+	{"status", `status`},
 	{"healthz", `healthz`},
 	{"export-opm", `export-opm`},
 	{"import-opm", `import-opm [-file doc.json]`},
@@ -103,6 +104,30 @@ func printQueryTable(w *os.File, resp *plusql.QueryResponse) error {
 	fmt.Fprintf(w, "%d row(s)%s, %d candidate(s) examined, %dus\n",
 		resp.Stats.Rows, more, resp.Stats.Examined, resp.TookUS)
 	return nil
+}
+
+// printStatus renders the healthz payload as a human-readable summary:
+// store counts plus the delta-scoped cache counters of the lineage answer
+// cache and the PLUSQL view cache.
+func printStatus(w *os.File, h plus.HealthzResponse) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "status\t%s\n", h.Status)
+	fmt.Fprintf(tw, "objects\t%d\n", h.Objects)
+	fmt.Fprintf(tw, "edges\t%d\n", h.Edges)
+	fmt.Fprintf(tw, "revision\t%d\n", h.Revision)
+	if lc := h.LineageCache; lc != nil {
+		fmt.Fprintf(tw, "lineage cache\t%d entries, %d hits, %d misses\n",
+			lc.Entries, lc.Hits, lc.Misses)
+		fmt.Fprintf(tw, "  delta scoping\t%d evicted, %d full wipes\n",
+			lc.DeltaEvictions, lc.Wipes)
+	}
+	if qc := h.QueryCache; qc != nil {
+		fmt.Fprintf(tw, "query views\t%d cached, %d hits, %d misses\n",
+			qc.Views, qc.Hits, qc.Misses)
+		fmt.Fprintf(tw, "  refresh\t%d advanced, %d advance-rebuilds, %d full builds, %d fallbacks\n",
+			qc.Advanced, qc.AdvanceRebuilds, qc.FullBuilds, qc.Fallbacks)
+	}
+	return tw.Flush()
 }
 
 func printJSON(v interface{}) error {
@@ -218,6 +243,12 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 			return err
 		}
 		return printJSON(s)
+	case "status":
+		h, err := c.Healthz()
+		if err != nil {
+			return err
+		}
+		return printStatus(os.Stdout, h)
 	case "healthz":
 		h, err := c.Healthz()
 		if err != nil {

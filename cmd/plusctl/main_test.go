@@ -40,11 +40,43 @@ func TestExecuteWorkflow(t *testing.T) {
 		{"lineage", "-start", "out", "-direction", "ancestors", "-viewer", "Public", "-mode", "surrogate"},
 		{"lineage", "-start", "out", "-depth", "1"},
 		{"stats"},
+		{"status"},
 		{"healthz"},
 	}
 	for _, s := range steps {
 		if err := execute(c, s[0], s[1:]); err != nil {
 			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+// TestPrintStatus renders the healthz payload including the delta-scoped
+// cache counters.
+func TestPrintStatus(t *testing.T) {
+	lc := plus.LineageCacheStats{Entries: 2, Hits: 7, Misses: 3, DeltaEvictions: 1}
+	qc := plus.QueryCacheHealth{Views: 1, Hits: 4, Misses: 2, Advanced: 5, FullBuilds: 1}
+	h := plus.HealthzResponse{
+		Status: "ok", Objects: 9, Edges: 4, Revision: 13,
+		LineageCache: &lc, QueryCache: &qc,
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := printStatus(w, h); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+	for _, want := range []string{
+		"status", "ok", "revision", "13",
+		"2 entries", "7 hits", "1 evicted",
+		"1 cached", "5 advanced", "1 full builds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -8,7 +8,13 @@
 // The -backend flag selects the storage engine: "log" (default) is the
 // durable CRC-guarded append-only log at -db; "mem" is the sharded
 // in-memory backend for read-heavy serving (contents die with the
-// process; -db and -sync are ignored, -shards sets the partition count).
+// process; -db and -sync are ignored, -shards sets the partition count,
+// -change-horizon bounds the per-shard change ring that feeds incremental
+// cache and view maintenance).
+//
+// Caches are delta-scoped: a write evicts only the lineage answers and
+// PLUSQL views whose account region it touches; GET /v1/healthz reports
+// the cache and delta counters.
 //
 // The lattice file is a JSON array of [dominator, dominated] predicate
 // pairs, e.g. [["High-1","Low-2"],["High-2","Low-2"]]; "Public" is the
@@ -44,12 +50,16 @@ func loadLattice(path string) (*privilege.Lattice, error) {
 }
 
 // openBackend builds the storage engine the -backend flag selected.
-func openBackend(kind, db string, shards int, sync bool) (plus.Backend, error) {
+func openBackend(kind, db string, shards, horizon int, sync bool) (plus.Backend, error) {
 	switch kind {
 	case "log":
 		return plus.Open(db, plus.Options{Sync: sync})
 	case "mem":
-		return plus.NewMemBackend(shards), nil
+		m := plus.NewMemBackend(shards)
+		if horizon > 0 {
+			m.SetChangeHorizon(horizon)
+		}
+		return m, nil
 	default:
 		return nil, fmt.Errorf("unknown backend %q (want log or mem)", kind)
 	}
@@ -60,6 +70,7 @@ func run() error {
 	db := flag.String("db", "plus.log", "path to the store log file (log backend)")
 	backendKind := flag.String("backend", "log", "storage backend: log (durable) or mem (sharded in-memory)")
 	shards := flag.Int("shards", 0, "mem backend shard count (0 = default)")
+	horizon := flag.Int("change-horizon", 0, "mem backend per-shard change-ring capacity (0 = default)")
 	latticePath := flag.String("lattice", "", "path to a JSON lattice spec (default: two-level)")
 	sync := flag.Bool("sync", false, "fsync every append (log backend)")
 	cache := flag.Bool("cache", true, "memoise lineage answers until the store changes")
@@ -69,7 +80,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	backend, err := openBackend(*backendKind, *db, *shards, *sync)
+	backend, err := openBackend(*backendKind, *db, *shards, *horizon, *sync)
 	if err != nil {
 		return err
 	}

@@ -11,12 +11,17 @@
 //	internal/privilege  privilege-predicate lattices, lowest(), high-water sets
 //	internal/policy     Visible/Hide/Surrogate incidence markings
 //	internal/surrogate  surrogate-node registry with infoScores
-//	internal/account    protected-account generation and verification
+//	internal/account    protected-account generation, incremental
+//	                    maintenance (Maintain) and verification
 //	internal/measure    path/node utility and opacity
-//	internal/plus       the PLUS substrate: pluggable storage backends,
-//	                    snapshot-isolated lineage engine and HTTP API
+//	internal/plus       the PLUS substrate: pluggable storage backends
+//	                    with a change feed (ChangesSince / DeltaSince),
+//	                    snapshot-isolated lineage engine, delta-scoped
+//	                    answer cache and HTTP API
 //	internal/plusql     PLUSQL: datalog-style queries over protected
-//	                    lineage (grammar reference in its doc.go)
+//	                    lineage (grammar reference in its doc.go);
+//	                    views refresh incrementally from the change feed
+//	                    instead of rebuilding on every write
 //	internal/workload   evaluation motifs and synthetic graph generator
 //	internal/eval       regeneration of every table and figure
 //	internal/core       high-level facade (builder, Protect, Compare,

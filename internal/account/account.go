@@ -75,6 +75,46 @@ type Account struct {
 	// SurrogateEdges records which G' edges are interposed surrogate edges
 	// summarising HW-permitted paths rather than copies of G edges.
 	SurrogateEdges map[graph.EdgeID]bool
+
+	// completed records that the generation run needed the global
+	// completion sweep (a Definition 8 condition 2 veto occurred). Its
+	// edge set is order-sensitive, so incremental maintenance refuses to
+	// patch such accounts and regenerates instead.
+	completed bool
+}
+
+// Clone returns an independent copy of the account (graph structure
+// copied, node feature maps shared — see graph.CloneShared). Incremental
+// maintenance patches a clone so live readers of the original are never
+// disturbed.
+func (a *Account) Clone() *Account {
+	c := &Account{
+		Graph:          a.Graph.CloneShared(),
+		HighWater:      append([]privilege.Predicate(nil), a.HighWater...),
+		Target:         a.Target,
+		ToOriginal:     make(map[graph.NodeID]graph.NodeID, len(a.ToOriginal)),
+		FromOriginal:   make(map[graph.NodeID]graph.NodeID, len(a.FromOriginal)),
+		InfoScore:      make(map[graph.NodeID]float64, len(a.InfoScore)),
+		SurrogateNodes: make(map[graph.NodeID]surrogate.Surrogate, len(a.SurrogateNodes)),
+		SurrogateEdges: make(map[graph.EdgeID]bool, len(a.SurrogateEdges)),
+		completed:      a.completed,
+	}
+	for k, v := range a.ToOriginal {
+		c.ToOriginal[k] = v
+	}
+	for k, v := range a.FromOriginal {
+		c.FromOriginal[k] = v
+	}
+	for k, v := range a.InfoScore {
+		c.InfoScore[k] = v
+	}
+	for k, v := range a.SurrogateNodes {
+		c.SurrogateNodes[k] = v
+	}
+	for k, v := range a.SurrogateEdges {
+		c.SurrogateEdges[k] = v
+	}
+	return c
 }
 
 // Present reports whether original node n has a corresponding node in the
@@ -274,13 +314,35 @@ func GenerateForSet(spec *Spec, hw []privilege.Predicate) (*Account, error) {
 	}
 
 	// Algorithm 1 lines 12–29: interpose surrogate edges for contracted
-	// incidences. For each contracted edge, anchor sets are the nearest
-	// Visible-incidence nodes upstream and downstream (Algorithm 2's
-	// stop-at-first-visible walk, which realises the "no shorter
-	// HW-permitted path" minimality rule).
+	// incidences, followed — only when a Definition 8 condition 2 veto
+	// occurred — by the global completion sweep.
+	vetoed, err := w.interpose(contract, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !vetoed {
+		return a, nil
+	}
+	a.completed = true
+	if err := w.completionSweep(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// interpose connects the anchor pairs of the given contracted edges with
+// surrogate edges. For each contracted edge, anchor sets are the nearest
+// Visible-incidence nodes upstream and downstream (Algorithm 2's
+// stop-at-first-visible walk, which realises the "no shorter HW-permitted
+// path" minimality rule). It reports whether any pair was vetoed by
+// Definition 8 condition 2 (a restricted direct edge between the anchors),
+// in which case only the completion sweep restores maximal connectivity.
+// onAdd, when non-nil, observes every edge added (incremental maintenance
+// uses it to patch view indexes).
+func (w *walker) interpose(contract []graph.Edge, onAdd func(graph.Edge)) (vetoed bool, err error) {
+	spec, a := w.spec(), w.acct
 	type pair struct{ from, to graph.NodeID }
 	added := map[pair]bool{}
-	vetoed := false
 	for _, e := range contract {
 		var back []graph.NodeID
 		if w.effectiveMark(e.From, e.ID()) == policy.Visible {
@@ -307,7 +369,7 @@ func GenerateForSet(spec *Spec, hw []privilege.Predicate) (*Account, error) {
 					// G', so a surrogate edge is never interposed. A
 					// non-Show direct edge vetoes the pair and may leave
 					// longer permitted pairs unserved; the completion
-					// pass below repairs exactly those.
+					// sweep repairs exactly those.
 					if w.disposition(de.ID()) != policy.ShowEdge {
 						vetoed = true
 					}
@@ -319,25 +381,29 @@ func GenerateForSet(spec *Spec, hw []privilege.Predicate) (*Account, error) {
 				}
 				ge := graph.Edge{From: gu, To: gv, Label: SurrogateEdgeLabel}
 				if err := a.Graph.AddEdge(ge); err != nil {
-					return nil, err
+					return vetoed, err
 				}
 				a.SurrogateEdges[ge.ID()] = true
+				if onAdd != nil {
+					onAdd(ge)
+				}
 			}
 		}
 	}
+	return vetoed, nil
+}
 
-	// Completion pass: the anchor walk connects nearest Visible anchors,
-	// but Definition 8 condition 2 can veto an anchor pair (a restricted
-	// direct edge between the anchors) while a longer pair further out
-	// remains HW-permitted and unserved. Sweep every present node's
-	// permitted-reachability set and interpose a surrogate edge for any
-	// pair maximal connectivity (Definition 9) still misses. Without a
-	// veto the anchor pass alone is maximal (every anchor pair got its
-	// edge, and permitted paths compose through anchors), so the sweep is
-	// skipped — the common fast path.
-	if !vetoed {
-		return a, nil
-	}
+// completionSweep repairs the pairs a condition 2 veto left unserved: the
+// anchor walk connects nearest Visible anchors, but a restricted direct
+// edge between an anchor pair can veto it while a longer pair further out
+// remains HW-permitted and unserved. Sweep every present node's
+// permitted-reachability set and interpose a surrogate edge for any pair
+// maximal connectivity (Definition 9) still misses. Without a veto the
+// anchor pass alone is maximal (every anchor pair got its edge, and
+// permitted paths compose through anchors), so the sweep is skipped — the
+// common fast path.
+func (w *walker) completionSweep() error {
+	spec, a := w.spec(), w.acct
 	origs := make([]graph.NodeID, 0, len(a.FromOriginal))
 	for orig := range a.FromOriginal {
 		origs = append(origs, orig)
@@ -365,12 +431,12 @@ func GenerateForSet(spec *Spec, hw []privilege.Predicate) (*Account, error) {
 			}
 			ge := graph.Edge{From: gu, To: gv, Label: SurrogateEdgeLabel}
 			if err := a.Graph.AddEdge(ge); err != nil {
-				return nil, err
+				return err
 			}
 			a.SurrogateEdges[ge.ID()] = true
 		}
 	}
-	return a, nil
+	return nil
 }
 
 func newAccount(hw []privilege.Predicate) *Account {

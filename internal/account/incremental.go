@@ -1,0 +1,417 @@
+// Incremental protected-account maintenance. A generated account is a
+// derived structure over its Spec; when the spec advances by a delta
+// (records are append-only upstream: objects stored or replaced, edges and
+// surrogates added), most of the account is unaffected. Maintain computes
+// the dirty region — the touched nodes plus everything whose surrogate
+// wiring can transitively change through chains of restricted incidences —
+// and regenerates only that region, falling back to full regeneration
+// whenever the delta's effects cannot be localised (a replaced object
+// changed its protection, a hidden node's surrogate selection moved, or a
+// Definition 8 condition 2 veto demands the global completion sweep). The
+// patched account is identical to one generated from scratch at the same
+// spec; the parity tests assert exactly that, and VerifySound/VerifyMaximal
+// hold on it.
+
+package account
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/privilege"
+)
+
+// Delta describes, in account terms, how a Spec advanced: which graph
+// nodes are new, which were replaced in place, which edges and surrogate
+// registrations were added. Upstream layers translate their storage change
+// feed into this form (see plus.ClassifyDelta).
+type Delta struct {
+	// NewNodes are graph nodes absent before the delta.
+	NewNodes []graph.NodeID
+	// UpdatedNodes are pre-existing nodes whose record was replaced
+	// (features, labeling or protection may have changed).
+	UpdatedNodes []graph.NodeID
+	// NewEdges are edges added by the delta. Edges are never replaced.
+	NewEdges []graph.EdgeID
+	// SurrogateFor lists originals that gained a surrogate registration.
+	SurrogateFor []graph.NodeID
+}
+
+// Empty reports whether the delta carries no changes.
+func (d Delta) Empty() bool {
+	return len(d.NewNodes) == 0 && len(d.UpdatedNodes) == 0 &&
+		len(d.NewEdges) == 0 && len(d.SurrogateFor) == 0
+}
+
+// nodeProtection is the protection-relevant state of one node: its
+// lowest() label and its node-level policy threshold.
+type nodeProtection struct {
+	lowest   privilege.Predicate
+	thrAt    privilege.Predicate
+	thrBelow policy.Marking
+	hasThr   bool
+}
+
+// PreState captures the protection-relevant state of a delta's updated
+// nodes before the spec is mutated; Maintain compares it against the
+// advanced spec to decide whether the delta is purely additive.
+type PreState struct {
+	nodes map[graph.NodeID]nodeProtection
+}
+
+// Capture records the pre-mutation protection state of the delta's
+// updated nodes. Call it on the old spec, before applying the delta.
+func Capture(spec *Spec, d Delta) *PreState {
+	ps := &PreState{nodes: make(map[graph.NodeID]nodeProtection, len(d.UpdatedNodes))}
+	for _, u := range d.UpdatedNodes {
+		if _, ok := ps.nodes[u]; ok {
+			continue
+		}
+		np := nodeProtection{lowest: spec.Labeling.LowestNode(u)}
+		np.thrAt, np.thrBelow, np.hasThr = spec.Policy.NodeThreshold(u)
+		ps.nodes[u] = np
+	}
+	return ps
+}
+
+// MaintainStats reports what one maintenance pass did; the view layer uses
+// the added/updated/removed sets to patch its indexes in place.
+type MaintainStats struct {
+	// Rebuilt reports that the account was regenerated from scratch
+	// because the delta could not be localised; Reason says why.
+	Rebuilt bool
+	Reason  string
+	// Dirty is the size of the closed dirty region (original nodes).
+	Dirty int
+	// AddedNodes / UpdatedNodes / RemovedNodes are account (G') node ids.
+	AddedNodes   []graph.NodeID
+	UpdatedNodes []graph.NodeID
+	RemovedNodes []graph.NodeID
+	// AddedEdges / RemovedEdges are account (G') edges.
+	AddedEdges   []graph.Edge
+	RemovedEdges []graph.EdgeID
+}
+
+// Maintain advances an account produced by Generate/GenerateForSet (in
+// this process) to the account GenerateForSet(spec, hw) would produce,
+// where spec is the ALREADY-ADVANCED spec and pre the Capture taken before
+// advancing it. The input account is never mutated: the incremental path
+// patches a clone, the fallback path generates fresh. The result is
+// structurally identical to a from-scratch generation at the same spec.
+//
+// The incremental path applies when the delta is effect-additive: no
+// pre-existing node changed its visibility, node-level protection or
+// surrogate selection. Then no account node or edge ever disappears, old
+// anchor walks keep their results, and only contract edges touching the
+// dirty region can gain anchor pairs — so patching the dirty region is
+// exact. Any other delta falls back to GenerateForSet.
+func Maintain(acct *Account, spec *Spec, d Delta, pre *PreState) (*Account, MaintainStats, error) {
+	if d.Empty() {
+		return acct, MaintainStats{}, nil
+	}
+	rebuild := func(reason string) (*Account, MaintainStats, error) {
+		a2, err := GenerateForSet(spec, acct.HighWater)
+		return a2, MaintainStats{Rebuilt: true, Reason: reason}, err
+	}
+	if acct.completed {
+		// Completion-sweep edge sets are order-sensitive; patching one
+		// incrementally cannot guarantee parity with a scratch build.
+		return rebuild("account was built with the completion sweep")
+	}
+	v := viewOf(spec, acct)
+
+	newSet := make(map[graph.NodeID]bool, len(d.NewNodes))
+	for _, u := range d.NewNodes {
+		newSet[u] = true
+	}
+
+	// Hazard checks: a pre-existing node whose protection-relevant state
+	// changed invalidates walks and mappings arbitrarily far away.
+	if pre == nil {
+		return rebuild("no pre-state captured")
+	}
+	for _, u := range d.UpdatedNodes {
+		st, ok := pre.nodes[u]
+		if !ok {
+			return rebuild(fmt.Sprintf("no pre-state for updated node %s", u))
+		}
+		if spec.Labeling.LowestNode(u) != st.lowest {
+			return rebuild(fmt.Sprintf("node %s changed its lowest predicate", u))
+		}
+		at, below, has := spec.Policy.NodeThreshold(u)
+		if has != st.hasThr || at != st.thrAt || below != st.thrBelow {
+			return rebuild(fmt.Sprintf("node %s changed its protection threshold", u))
+		}
+	}
+	for _, u := range d.SurrogateFor {
+		if newSet[u] {
+			continue // handled by node addition below
+		}
+		mapped, present := acct.FromOriginal[u]
+		if present && mapped == u {
+			continue // visible as itself; surrogates are irrelevant
+		}
+		s, ok := spec.Surrogates.SelectForSet(u, v.hw)
+		switch {
+		case !present && ok:
+			return rebuild(fmt.Sprintf("hidden node %s gained a releasable surrogate", u))
+		case present && (!ok || s.ID != mapped):
+			return rebuild(fmt.Sprintf("node %s changed its surrogate selection", u))
+		}
+	}
+
+	a := acct.Clone()
+	var st MaintainStats
+
+	// Patch nodes. Updated nodes keep their mapping (no hazard); visible
+	// ones refresh their released features. New nodes run the Algorithm 1
+	// node-selection rule.
+	for _, u := range sortedIDs(d.UpdatedNodes) {
+		if gid, ok := a.FromOriginal[u]; ok && gid == u {
+			n, _ := spec.Graph.NodeByID(u)
+			a.Graph.AddNode(n)
+			st.UpdatedNodes = append(st.UpdatedNodes, u)
+		}
+	}
+	for _, u := range sortedIDs(d.NewNodes) {
+		if v.nodeVisible(u) {
+			n, _ := spec.Graph.NodeByID(u)
+			a.Graph.AddNode(n)
+			a.ToOriginal[u] = u
+			a.FromOriginal[u] = u
+			a.InfoScore[u] = 1
+			st.AddedNodes = append(st.AddedNodes, u)
+			continue
+		}
+		if s, ok := spec.Surrogates.SelectForSet(u, v.hw); ok {
+			a.Graph.AddNode(graph.Node{ID: s.ID, Features: s.Features})
+			a.ToOriginal[s.ID] = u
+			a.FromOriginal[u] = s.ID
+			a.InfoScore[s.ID] = s.InfoScore
+			a.SurrogateNodes[s.ID] = s
+			st.AddedNodes = append(st.AddedNodes, s.ID)
+		}
+	}
+
+	// Dirty-region closure: seed with everything the delta touched, then
+	// trace the anchor-walk chains backward. An effect-additive delta
+	// changes a walk only by growing a branch at a seed the walk passes
+	// through (or starts at); a walk occupies a node u only when u's own
+	// incidence on the edge that reached it is non-Visible, and it
+	// traverses only edges free of Hide marks. So from a region node u,
+	// cross an edge exactly when u's effective incidence on it is neither
+	// Visible nor blocked by a Hide at either end — this follows every
+	// chain back to its generating contract edges without spilling across
+	// Visible anchors, keeping the region proportional to the restricted
+	// neighbourhood of the delta. Walks that merely STOP at a seed (a
+	// Visible incidence) are unaffected by anything beyond it and need no
+	// recomputation.
+	w := &walker{view: v, acct: a}
+	dirty := map[graph.NodeID]bool{}
+	var queue []graph.NodeID
+	mark := func(u graph.NodeID) {
+		if !dirty[u] {
+			dirty[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for _, u := range d.NewNodes {
+		mark(u)
+	}
+	for _, u := range d.UpdatedNodes {
+		mark(u)
+	}
+	for _, u := range d.SurrogateFor {
+		mark(u)
+	}
+	for _, e := range d.NewEdges {
+		mark(e.From)
+		mark(e.To)
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		incidentEdges(spec.Graph, u, func(e graph.Edge) {
+			eid := e.ID()
+			if v.mark(e.From, eid) == policy.Hide || v.mark(e.To, eid) == policy.Hide {
+				return // walks never traverse a Hide incidence
+			}
+			if w.effectiveMark(u, eid) == policy.Visible {
+				return // walks stop at u here; nothing propagates
+			}
+			if e.From != u {
+				mark(e.From)
+			}
+			if e.To != u {
+				mark(e.To)
+			}
+		})
+	}
+	st.Dirty = len(dirty)
+
+	// Patch direct edges incident to the region and collect its contract
+	// edges for re-interposition.
+	var contract []graph.Edge
+	seenEdge := map[graph.EdgeID]bool{}
+	for _, u := range sortedKeys(dirty) {
+		incidentEdges(spec.Graph, u, func(e graph.Edge) {
+			if seenEdge[e.ID()] {
+				return
+			}
+			seenEdge[e.ID()] = true
+			switch w.disposition(e.ID()) {
+			case policy.ShowEdge:
+				gu, gv := a.FromOriginal[e.From], a.FromOriginal[e.To]
+				gid := graph.EdgeID{From: gu, To: gv}
+				if a.SurrogateEdges[gid] {
+					// A pair previously served by an interposed surrogate
+					// edge now has a direct Show edge; the scratch build
+					// copies the direct edge instead.
+					a.Graph.RemoveEdge(gu, gv)
+					delete(a.SurrogateEdges, gid)
+					st.RemovedEdges = append(st.RemovedEdges, gid)
+				}
+				if !a.Graph.HasEdge(gu, gv) {
+					ge := graph.Edge{From: gu, To: gv, Label: e.Label}
+					if err := a.Graph.AddEdge(ge); err != nil {
+						panic(err) // endpoints present by construction
+					}
+					st.AddedEdges = append(st.AddedEdges, ge)
+				}
+			case policy.ContractEdge:
+				contract = append(contract, e)
+			}
+		})
+	}
+
+	vetoed, err := w.interpose(contract, func(ge graph.Edge) {
+		st.AddedEdges = append(st.AddedEdges, ge)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	if vetoed {
+		// A restricted direct edge vetoed an anchor pair; the repair is
+		// the global completion sweep, which cannot be localised.
+		return rebuild("anchor pair vetoed by a restricted direct edge")
+	}
+	return a, st, nil
+}
+
+// MaintainHide advances an account produced by GenerateHide. The hide
+// baseline is purely local — a node is kept iff visible, an edge iff both
+// endpoints are kept and both incidence marks are Visible — so maintenance
+// is always incremental and exact, including protection changes.
+func MaintainHide(acct *Account, spec *Spec, d Delta) (*Account, MaintainStats, error) {
+	if d.Empty() {
+		return acct, MaintainStats{}, nil
+	}
+	v := viewOf(spec, acct)
+	a := acct.Clone()
+	var st MaintainStats
+
+	dirty := map[graph.NodeID]bool{}
+	for _, u := range d.NewNodes {
+		dirty[u] = true
+	}
+	for _, u := range d.UpdatedNodes {
+		dirty[u] = true
+	}
+	for _, e := range d.NewEdges {
+		dirty[e.From] = true
+		dirty[e.To] = true
+	}
+
+	// Patch nodes: presence tracks visibility exactly (hide mode never
+	// substitutes surrogates).
+	for _, u := range sortedKeys(dirty) {
+		if !spec.Graph.HasNode(u) {
+			continue
+		}
+		vis := v.nodeVisible(u)
+		present := a.Present(u)
+		switch {
+		case vis && !present:
+			n, _ := spec.Graph.NodeByID(u)
+			a.Graph.AddNode(n)
+			a.ToOriginal[u] = u
+			a.FromOriginal[u] = u
+			a.InfoScore[u] = 1
+			st.AddedNodes = append(st.AddedNodes, u)
+		case vis && present:
+			n, _ := spec.Graph.NodeByID(u)
+			a.Graph.AddNode(n)
+			st.UpdatedNodes = append(st.UpdatedNodes, u)
+		case !vis && present:
+			for _, nb := range a.Graph.Successors(u) {
+				st.RemovedEdges = append(st.RemovedEdges, graph.EdgeID{From: u, To: nb})
+			}
+			for _, nb := range a.Graph.Predecessors(u) {
+				st.RemovedEdges = append(st.RemovedEdges, graph.EdgeID{From: nb, To: u})
+			}
+			a.Graph.RemoveNode(u)
+			delete(a.ToOriginal, u)
+			delete(a.FromOriginal, u)
+			delete(a.InfoScore, u)
+			st.RemovedNodes = append(st.RemovedNodes, u)
+		}
+	}
+
+	// Patch edges incident to the dirty region.
+	seenEdge := map[graph.EdgeID]bool{}
+	for _, u := range sortedKeys(dirty) {
+		incidentEdges(spec.Graph, u, func(e graph.Edge) {
+			id := e.ID()
+			if seenEdge[id] {
+				return
+			}
+			seenEdge[id] = true
+			shown := a.Present(e.From) && a.Present(e.To) &&
+				v.mark(e.From, id) == policy.Visible && v.mark(e.To, id) == policy.Visible
+			has := a.Graph.HasEdge(e.From, e.To)
+			if shown && !has {
+				if err := a.Graph.AddEdge(e); err != nil {
+					panic(err) // endpoints present by construction
+				}
+				st.AddedEdges = append(st.AddedEdges, e)
+			}
+			if !shown && has {
+				a.Graph.RemoveEdge(e.From, e.To)
+				st.RemovedEdges = append(st.RemovedEdges, id)
+			}
+		})
+	}
+	return a, st, nil
+}
+
+// incidentEdges calls fn for every edge incident to u in g (outgoing then
+// incoming), in sorted neighbour order.
+func incidentEdges(g *graph.Graph, u graph.NodeID, fn func(graph.Edge)) {
+	for _, to := range g.Successors(u) {
+		if e, ok := g.EdgeByID(graph.EdgeID{From: u, To: to}); ok {
+			fn(e)
+		}
+	}
+	for _, from := range g.Predecessors(u) {
+		if e, ok := g.EdgeByID(graph.EdgeID{From: from, To: u}); ok {
+			fn(e)
+		}
+	}
+}
+
+func sortedIDs(ids []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(set map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

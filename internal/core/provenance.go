@@ -90,11 +90,25 @@ func (p *Provenance) Query(src string, opts plusql.Options) (*plusql.ResultSet, 
 }
 
 // Server wires an HTTP API around the service's engine, including the
-// PLUSQL query endpoint.
+// PLUSQL query endpoint and the cache counters in /v1/healthz.
 func (p *Provenance) Server() *plus.Server {
 	srv := plus.NewCachedServer(p.engine)
 	plusql.Attach(srv, p.query)
 	return srv
+}
+
+// CacheStats bundles the delta-scoped cache counters of both query paths:
+// the lineage answer cache (evictions scoped to the closures a write
+// touches) and the PLUSQL protected-view cache (views advanced by
+// change-feed deltas instead of rebuilt).
+type CacheStats struct {
+	Lineage plus.LineageCacheStats `json:"lineage"`
+	Views   plusql.ViewCacheStats  `json:"views"`
+}
+
+// CacheStats reports the service's cache counters.
+func (p *Provenance) CacheStats() CacheStats {
+	return CacheStats{Lineage: p.engine.Stats(), Views: p.query.CacheStats()}
 }
 
 // CompareLineage fetches the full ancestry of start and protects it both

@@ -2,10 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/plus"
 	"repro/internal/plusql"
 	"repro/internal/privilege"
@@ -94,6 +96,58 @@ func TestProvenanceServerHealthz(t *testing.T) {
 	if p.Backend().NumObjects() != 3 || p.Backend().NumEdges() != 2 {
 		t.Errorf("counts = %d objects %d edges, want 3, 2",
 			p.Backend().NumObjects(), p.Backend().NumEdges())
+	}
+}
+
+// TestProvenanceCacheStats drives the facade through a write-heavy mix
+// and checks both caches serve incrementally: lineage answers survive
+// disjoint writes, and PLUSQL views advance by deltas instead of full
+// rebuilds.
+func TestProvenanceCacheStats(t *testing.T) {
+	p, err := OpenProvenance(ProvenanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	seedProvenance(t, p)
+
+	req := plus.Request{Start: "out", Direction: graph.Backward}
+	if _, err := p.Lineage(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query(`node(X)`, plusql.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint writes: the lineage entry stays cached, the view advances.
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("iso%d", i)
+		if err := p.Backend().PutObject(plus.Object{ID: id, Kind: plus.Data, Name: id}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Lineage(req); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Query(`node(X)`, plusql.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.CacheStats()
+	if st.Lineage.Hits != 3 || st.Lineage.DeltaEvictions != 0 {
+		t.Errorf("lineage stats = %+v, want 3 hits and no evictions from disjoint writes", st.Lineage)
+	}
+	if st.Views.Advanced != 3 || st.Views.FullBuilds != 1 {
+		t.Errorf("view stats = %+v, want 3 advances over 1 full build", st.Views)
+	}
+
+	// A write inside the lineage closure evicts that answer.
+	if err := p.Backend().PutObject(plus.Object{ID: "src", Kind: plus.Data, Name: "src v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Lineage(req); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.CacheStats(); st.Lineage.DeltaEvictions != 1 {
+		t.Errorf("lineage evictions = %d, want 1 after closure write", st.Lineage.DeltaEvictions)
 	}
 }
 

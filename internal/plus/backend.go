@@ -44,6 +44,13 @@ type Backend interface {
 	NumEdges() int
 	// Revision returns a counter that increases with every stored record.
 	Revision() uint64
+	// ChangesSince returns the ordered record deltas applied after
+	// revision since, up to the current revision (one Change per revision
+	// bump, in revision order). Backends may bound how much history they
+	// retain: a request past the horizon fails with ErrTooFarBehind, the
+	// caller's cue to rebuild derived state from a fresh snapshot instead
+	// of patching. A since beyond the current revision is an error.
+	ChangesSince(since uint64) ([]Change, error)
 	// Snapshot returns an immutable, revision-stamped view of the whole
 	// store. The returned snapshot is stable forever: later writes bump
 	// the revision and surface only in later snapshots. Implementations
@@ -73,6 +80,10 @@ type Snapshot struct {
 	out        map[string][]Edge
 	in         map[string][]Edge
 	surrogates map[string][]SurrogateSpec
+
+	// source is the backend the snapshot was cloned from; DeltaSince
+	// reads the change feed through it.
+	source Backend
 }
 
 // Revision reports the backend revision this snapshot was taken at.
@@ -110,11 +121,12 @@ func (sn *Snapshot) Surrogates(id string) []SurrogateSpec { return sn.surrogates
 
 // cloneIndex builds a Snapshot from live index maps. Callers must hold
 // whatever lock makes the maps stable for the duration.
-func cloneIndex(rev uint64,
+func cloneIndex(source Backend, rev uint64,
 	objects map[string]Object,
 	out, in map[string][]Edge,
 	surrogates map[string][]SurrogateSpec) *Snapshot {
 	sn := &Snapshot{
+		source:     source,
 		rev:        rev,
 		objects:    make(map[string]Object, len(objects)),
 		out:        make(map[string][]Edge, len(out)),

@@ -9,22 +9,47 @@ import (
 )
 
 // CachedEngine wraps an Engine with per-query memoisation of protected
-// lineage answers, invalidated automatically when the store changes.
+// lineage answers, invalidated by the change feed: a write evicts only the
+// cached answers whose lineage closure the delta touches.
 //
 // This realises the §7 advantage the paper claims over view-based
 // protection ("view recomputation when object sensitivity changes" versus
 // having "the appropriate views constructed automatically"): accounts are
-// derived on demand and cached, and any store mutation — including new
-// surrogates or re-stored objects with different sensitivity — simply
-// bumps the store revision and lets stale accounts fall out.
+// derived on demand and cached, and a store mutation — including new
+// surrogates or re-stored objects with different sensitivity — invalidates
+// exactly the accounts whose region it touches. A closure can only grow
+// through objects already inside it, so an answer whose closure is
+// disjoint from the delta's touched set is still exact and stays cached.
+// Only when the backend no longer retains the revision window does the
+// cache fall back to a full wipe.
 type CachedEngine struct {
 	*Engine
 
 	mu      sync.Mutex
 	rev     uint64
-	entries map[cacheKey]*Result
-	hits    uint64
-	misses  uint64
+	entries map[cacheKey]*cacheEntry
+	stats   LineageCacheStats
+}
+
+// LineageCacheStats reports the lineage cache counters.
+type LineageCacheStats struct {
+	// Entries is the live cached answer count.
+	Entries int `json:"entries"`
+	// Hits / Misses count lineage lookups.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// DeltaEvictions counts entries evicted because a change-feed delta
+	// touched their closure; Wipes counts full invalidations (change feed
+	// too far behind or unavailable).
+	DeltaEvictions uint64 `json:"deltaEvictions"`
+	Wipes          uint64 `json:"wipes"`
+}
+
+type cacheEntry struct {
+	res *Result
+	// closure holds the original object ids the answer was derived from;
+	// a delta invalidates the entry iff it touches one of them.
+	closure map[string]bool
 }
 
 type cacheKey struct {
@@ -37,15 +62,56 @@ type cacheKey struct {
 	kind      ObjectKind
 }
 
-// NewCachedEngine wraps the engine with an invalidating cache.
+// NewCachedEngine wraps the engine with a delta-scoped invalidating cache.
 func NewCachedEngine(engine *Engine) *CachedEngine {
-	return &CachedEngine{Engine: engine, entries: map[cacheKey]*Result{}}
+	return &CachedEngine{Engine: engine, entries: map[cacheKey]*cacheEntry{}}
+}
+
+// refreshLocked brings the cache up to revision rev, evicting the entries
+// whose closure the intervening changes touch. Callers hold ce.mu. A rev
+// below the cache generation (a caller that read the revision before a
+// concurrent refresh) never regresses it: the newer refresh already
+// processed those changes.
+func (ce *CachedEngine) refreshLocked(rev uint64) {
+	if rev <= ce.rev {
+		return
+	}
+	changes, err := ce.store.ChangesSince(ce.rev)
+	if err != nil {
+		// Too far behind the retained feed (or the backend is closing):
+		// scope is unknown, wipe everything.
+		ce.entries = map[cacheKey]*cacheEntry{}
+		ce.stats.Wipes++
+		ce.rev = rev
+		return
+	}
+	touched := (&Delta{Changes: changes}).Touched()
+	for k, ent := range ce.entries {
+		if intersects(ent.closure, touched) {
+			delete(ce.entries, k)
+			ce.stats.DeltaEvictions++
+		}
+	}
+	ce.rev = rev
+}
+
+// intersects reports whether the two id sets share a member.
+func intersects(a, b map[string]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for id := range a {
+		if b[id] {
+			return true
+		}
+	}
+	return false
 }
 
 // Lineage answers like Engine.Lineage but serves repeated queries from the
-// cache while the store is unchanged. Cached results share the account —
-// callers must treat answers as read-only (which they are over HTTP, where
-// each answer is serialised).
+// cache while their lineage region is unchanged. Cached results share the
+// account — callers must treat answers as read-only (which they are over
+// HTTP, where each answer is serialised).
 func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
 	// A closed backend must not keep answering out of the cache.
 	if err := ce.store.Ping(); err != nil {
@@ -69,17 +135,13 @@ func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
 	rev := ce.store.Revision()
 
 	ce.mu.Lock()
-	if rev != ce.rev {
-		// The store changed: every cached account may be stale.
-		ce.entries = map[cacheKey]*Result{}
-		ce.rev = rev
-	}
-	if res, ok := ce.entries[key]; ok {
-		ce.hits++
+	ce.refreshLocked(rev)
+	if ent, ok := ce.entries[key]; ok {
+		ce.stats.Hits++
 		ce.mu.Unlock()
-		return res, nil
+		return ent.res, nil
 	}
-	ce.misses++
+	ce.stats.Misses++
 	ce.mu.Unlock()
 
 	res, err := ce.Engine.Lineage(req)
@@ -87,10 +149,16 @@ func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
 		return nil, err
 	}
 
+	closure := map[string]bool{}
+	for _, id := range res.Spec.Graph.Nodes() {
+		closure[string(id)] = true
+	}
 	ce.mu.Lock()
-	// Only cache when the store has not moved under the computation.
-	if ce.store.Revision() == ce.rev {
-		ce.entries[key] = res
+	// Only cache when the store has not moved under the computation: the
+	// answer's snapshot sits between rev (observed before computing) and
+	// the current revision, so equality pins it to the cache generation.
+	if ce.rev == rev && ce.store.Revision() == rev {
+		ce.entries[key] = &cacheEntry{res: res, closure: closure}
 	}
 	ce.mu.Unlock()
 	return res, nil
@@ -98,13 +166,23 @@ func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
 
 // CacheStats reports hit/miss counters and the live entry count.
 func (ce *CachedEngine) CacheStats() (hits, misses uint64, entries int) {
+	st := ce.Stats()
+	return st.Hits, st.Misses, st.Entries
+}
+
+// Stats reports the full lineage-cache counters, including delta-scoped
+// eviction activity.
+func (ce *CachedEngine) Stats() LineageCacheStats {
 	ce.mu.Lock()
 	defer ce.mu.Unlock()
-	return ce.hits, ce.misses, len(ce.entries)
+	st := ce.stats
+	st.Entries = len(ce.entries)
+	return st
 }
 
 // String summarises the cache state for logs.
 func (ce *CachedEngine) String() string {
-	h, m, n := ce.CacheStats()
-	return fmt.Sprintf("plus cache: %d entries, %d hits, %d misses", n, h, m)
+	st := ce.Stats()
+	return fmt.Sprintf("plus cache: %d entries, %d hits, %d misses, %d delta-evicted, %d wiped",
+		st.Entries, st.Hits, st.Misses, st.DeltaEvictions, st.Wipes)
 }

@@ -37,19 +37,38 @@ func TestCachedEngineHitsAndInvalidation(t *testing.T) {
 		t.Errorf("entries = %d, want 2", entries)
 	}
 
-	// A store mutation invalidates everything.
-	if err := en.store.PutObject(Object{ID: "new", Kind: Data, Name: "new"}); err != nil {
+	// A mutation outside the cached closures leaves them valid: the
+	// delta-scoped refresh keeps both entries and keeps serving them.
+	if err := en.store.PutObject(Object{ID: "unrelated", Kind: Data, Name: "unrelated"}); err != nil {
 		t.Fatal(err)
 	}
 	r3, err := ce.Lineage(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r3 == r1 {
-		t.Error("stale account served after store mutation")
+	if r3 != r1 {
+		t.Error("disjoint write evicted an unaffected cached account")
 	}
-	if _, _, entries := ce.CacheStats(); entries != 1 {
-		t.Errorf("entries after invalidation = %d, want 1", entries)
+	if _, _, entries := ce.CacheStats(); entries != 2 {
+		t.Errorf("entries after disjoint write = %d, want 2", entries)
+	}
+
+	// A mutation touching the closure evicts exactly the affected
+	// answers: re-storing an ancestor of report invalidates both viewers'
+	// entries for it.
+	if err := en.store.PutObject(Object{ID: "src", Kind: Data, Name: "raw feed v2"}); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := ce.Lineage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r1 {
+		t.Error("stale account served after a write inside its closure")
+	}
+	st := ce.Stats()
+	if st.DeltaEvictions != 2 || st.Wipes != 0 {
+		t.Errorf("delta evictions/wipes = %d/%d, want 2/0", st.DeltaEvictions, st.Wipes)
 	}
 }
 

@@ -78,6 +78,9 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("SnapshotIsolation", func(t *testing.T) { conformSnapshotIsolation(t, h) })
 			t.Run("CloseSemantics", func(t *testing.T) { conformClose(t, h) })
 			t.Run("ConcurrentReadersWriters", func(t *testing.T) { conformConcurrency(t, h) })
+			t.Run("ChangesContiguous", func(t *testing.T) { conformChangesContiguous(t, h) })
+			t.Run("ChangesMatchSnapshotDiff", func(t *testing.T) { conformChangesSnapshotDiff(t, h) })
+			t.Run("ChangesErrors", func(t *testing.T) { conformChangesErrors(t, h) })
 			t.Run("LineageEngine", func(t *testing.T) { conformLineage(t, h) })
 			t.Run("OPMRoundTrip", func(t *testing.T) { conformOPM(t, h) })
 			if h.reopen != nil {
@@ -100,6 +103,282 @@ func seedChain(t *testing.T, b Backend, ids ...string) {
 	for i := 0; i+1 < len(ids); i++ {
 		if err := b.PutEdge(Edge{From: ids[i], To: ids[i+1], Label: "input-to"}); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// conformChangesContiguous: the change feed covers every revision bump
+// exactly once, in order, with the revision window semantics of the
+// ChangesSince contract.
+func conformChangesContiguous(t *testing.T, h backendHarness) {
+	b, _ := h.open(t)
+	seedChain(t, b, "a", "b", "c") // 3 objects + 2 edges
+	if err := b.PutSurrogate(SurrogateSpec{ForID: "b", ID: "b'", Name: "anon", InfoScore: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutObject(Object{ID: "a", Kind: Data, Name: "a v2"}); err != nil {
+		t.Fatal(err)
+	}
+	rev := b.Revision()
+	if rev != 7 {
+		t.Fatalf("revision = %d, want 7", rev)
+	}
+	changes, err := b.ChangesSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 7 {
+		t.Fatalf("ChangesSince(0) = %d changes, want 7", len(changes))
+	}
+	for i, c := range changes {
+		if c.Rev != uint64(i)+1 {
+			t.Fatalf("changes[%d].Rev = %d, want %d", i, c.Rev, i+1)
+		}
+	}
+	// Kinds in application order.
+	wantKinds := []ChangeKind{ChangeObject, ChangeObject, ChangeObject, ChangeEdge, ChangeEdge, ChangeSurrogate, ChangeObject}
+	for i, c := range changes {
+		if c.Kind != wantKinds[i] {
+			t.Errorf("changes[%d].Kind = %d, want %d", i, c.Kind, wantKinds[i])
+		}
+	}
+	if changes[6].Object.Name != "a v2" {
+		t.Errorf("replacement change carries %q, want the new record", changes[6].Object.Name)
+	}
+	// Suffix windows.
+	tail, err := b.ChangesSince(5)
+	if err != nil || len(tail) != 2 || tail[0].Rev != 6 {
+		t.Fatalf("ChangesSince(5) = %v, %v", tail, err)
+	}
+	empty, err := b.ChangesSince(rev)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("ChangesSince(rev) = %v, %v, want empty", empty, err)
+	}
+	if _, err := b.ChangesSince(rev + 1); err == nil {
+		t.Error("future revision accepted")
+	}
+}
+
+// conformChangesSnapshotDiff: replaying the change window (a, b] onto
+// snapshot A's contents reproduces snapshot B exactly.
+func conformChangesSnapshotDiff(t *testing.T, h backendHarness) {
+	b, _ := h.open(t)
+	seedChain(t, b, "a", "b")
+	snA, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.PutObject(Object{ID: "c", Kind: Data, Name: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutEdge(Edge{From: "b", To: "c", Label: "input-to"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutObject(Object{ID: "a", Kind: Data, Name: "a v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutSurrogate(SurrogateSpec{ForID: "a", ID: "a'", Name: "anon", InfoScore: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	snB, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta, err := snB.DeltaSince(snA.Revision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Since != snA.Revision() || delta.Rev != snB.Revision() {
+		t.Fatalf("delta window = (%d, %d], want (%d, %d]", delta.Since, delta.Rev, snA.Revision(), snB.Revision())
+	}
+
+	// Reconstruct B's contents from A plus the delta.
+	objects := map[string]Object{}
+	out := map[string][]Edge{}
+	surr := map[string][]SurrogateSpec{}
+	for _, o := range snA.Objects() {
+		objects[o.ID] = o
+		out[o.ID] = append([]Edge(nil), snA.Out(o.ID)...)
+		surr[o.ID] = append([]SurrogateSpec(nil), snA.Surrogates(o.ID)...)
+	}
+	for _, c := range delta.Changes {
+		switch c.Kind {
+		case ChangeObject:
+			objects[c.Object.ID] = c.Object
+		case ChangeEdge:
+			out[c.Edge.From] = append(out[c.Edge.From], c.Edge)
+		case ChangeSurrogate:
+			surr[c.Surrogate.ForID] = append(surr[c.Surrogate.ForID], c.Surrogate)
+		}
+	}
+	if len(objects) != snB.NumObjects() {
+		t.Fatalf("reconstructed %d objects, snapshot B has %d", len(objects), snB.NumObjects())
+	}
+	for id, o := range objects {
+		got, ok := snB.Object(id)
+		if !ok || got.Name != o.Name {
+			t.Errorf("object %s: reconstructed %+v, snapshot %+v (ok=%v)", id, o, got, ok)
+		}
+		if fmt.Sprint(out[id]) != fmt.Sprint(snB.Out(id)) {
+			t.Errorf("out(%s): reconstructed %v, snapshot %v", id, out[id], snB.Out(id))
+		}
+		if fmt.Sprint(surr[id]) != fmt.Sprint(snB.Surrogates(id)) {
+			t.Errorf("surrogates(%s): reconstructed %v, snapshot %v", id, surr[id], snB.Surrogates(id))
+		}
+	}
+
+	// A snapshot never reports changes past its own revision even after
+	// the backend advances.
+	if err := b.PutObject(Object{ID: "late", Kind: Data, Name: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := snB.DeltaSince(snA.Revision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rev != snB.Revision() || len(again.Changes) != len(delta.Changes) {
+		t.Errorf("delta after later writes = (%d, %d] with %d changes; want the original window",
+			again.Since, again.Rev, len(again.Changes))
+	}
+}
+
+// conformChangesErrors: the feed fails cleanly after Close.
+func conformChangesErrors(t *testing.T, h backendHarness) {
+	b, _ := h.open(t)
+	seedChain(t, b, "a", "b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ChangesSince(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("ChangesSince after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestLogBackendChangeHorizon exercises the durable backend's bounded
+// resident window: the log keeps the full history on disk, but only the
+// recent window answers ChangesSince — older requests take the
+// too-far-behind rebuild path.
+func TestLogBackendChangeHorizon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "horizon.log")
+	b, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if b.ChangeHorizon() != DefaultLogChangeHorizon {
+		t.Fatalf("default horizon = %d", b.ChangeHorizon())
+	}
+	b.SetChangeHorizon(4)
+	for i := 0; i < 20; i++ {
+		if err := b.PutObject(Object{ID: fmt.Sprintf("o%d", i), Kind: Data, Name: "o"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rev := b.Revision()
+	if got, err := b.ChangesSince(rev - 4); err != nil || len(got) != 4 {
+		t.Fatalf("ChangesSince(rev-4) = %d changes, %v", len(got), err)
+	}
+	if _, err := b.ChangesSince(0); !errors.Is(err, ErrTooFarBehind) {
+		t.Errorf("ChangesSince(0) = %v, want ErrTooFarBehind", err)
+	}
+	// Shrinking discards the oldest retained entries.
+	b.SetChangeHorizon(1)
+	if _, err := b.ChangesSince(rev - 2); !errors.Is(err, ErrTooFarBehind) {
+		t.Errorf("after shrink, ChangesSince(rev-2) = %v, want ErrTooFarBehind", err)
+	}
+	if got, err := b.ChangesSince(rev - 1); err != nil || len(got) != 1 {
+		t.Errorf("after shrink, ChangesSince(rev-1) = %d changes, %v", len(got), err)
+	}
+	// The log itself still holds everything: a reopen replays the full
+	// history (fresh window, fresh revision numbering).
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b2.Close() })
+	if b2.NumObjects() != 20 {
+		t.Fatalf("reopened objects = %d, want 20", b2.NumObjects())
+	}
+	if got, err := b2.ChangesSince(0); err != nil || len(got) != 20 {
+		t.Errorf("reopened ChangesSince(0) = %d changes, %v", len(got), err)
+	}
+}
+
+// TestMemBackendChangeHorizon exercises the bounded ring: requests inside
+// the retained window are served, requests past it fail with
+// ErrTooFarBehind (the full-rebuild escape hatch), and concurrent writers
+// keep the merged feed contiguous.
+func TestMemBackendChangeHorizon(t *testing.T) {
+	m := NewMemBackend(2)
+	t.Cleanup(func() { m.Close() })
+	m.SetChangeHorizon(4)
+
+	for i := 0; i < 20; i++ {
+		if err := m.PutObject(Object{ID: fmt.Sprintf("o%d", i), Kind: Data, Name: "o"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rev := m.Revision()
+	// The last few revisions are always retained (per-shard horizon 4 on
+	// 2 shards retains at least the 4 newest overall).
+	tail, err := m.ChangesSince(rev - 2)
+	if err != nil || len(tail) != 2 {
+		t.Fatalf("ChangesSince(rev-2) = %d changes, %v", len(tail), err)
+	}
+	// Far past the ring: too far behind.
+	if _, err := m.ChangesSince(0); !errors.Is(err, ErrTooFarBehind) {
+		t.Errorf("ChangesSince(0) = %v, want ErrTooFarBehind", err)
+	}
+	// DeltaSince through a snapshot surfaces the same escape hatch.
+	sn, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.DeltaSince(0); !errors.Is(err, ErrTooFarBehind) {
+		t.Errorf("DeltaSince(0) = %v, want ErrTooFarBehind", err)
+	}
+
+	// Shrinking the horizon discards the oldest retained entries. With a
+	// per-shard capacity of 1 on 2 shards at most 2 changes survive, so a
+	// deep window is gone while the newest change is always retained.
+	m.SetChangeHorizon(1)
+	if _, err := m.ChangesSince(rev - 10); !errors.Is(err, ErrTooFarBehind) {
+		t.Errorf("after shrink, ChangesSince(rev-10) = %v, want ErrTooFarBehind", err)
+	}
+	if got, err := m.ChangesSince(rev - 1); err != nil || len(got) != 1 {
+		t.Errorf("after shrink, ChangesSince(rev-1) = %d changes, %v", len(got), err)
+	}
+
+	// Concurrent writers on different shards: merged feed stays contiguous
+	// within the retained window.
+	m2 := NewMemBackend(4)
+	t.Cleanup(func() { m2.Close() })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = m2.PutObject(Object{ID: fmt.Sprintf("w%d-%d", w, i), Kind: Data, Name: "w"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	all, err := m2.ChangesSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 200 {
+		t.Fatalf("merged feed has %d changes, want 200", len(all))
+	}
+	for i, c := range all {
+		if c.Rev != uint64(i)+1 {
+			t.Fatalf("merged feed gap at %d: rev %d", i, c.Rev)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/privilege"
 )
 
@@ -83,6 +84,58 @@ func TestHealthzClient(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Objects != s.NumObjects() || h.Edges != s.NumEdges() {
 		t.Errorf("client healthz = %+v", h)
+	}
+}
+
+// TestHealthzCacheStats checks the probe surfaces the lineage-cache
+// counters of a cache-fronted server: hits, misses and delta-scoped
+// eviction activity.
+func TestHealthzCacheStats(t *testing.T) {
+	s, _ := openTemp(t)
+	putChain(t, s, "a", "b", "c")
+	ce := NewCachedEngine(NewEngine(s, privilege.TwoLevel()))
+	srv := httptest.NewServer(NewCachedServer(ce))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+
+	req := Request{Start: "c", Direction: graph.Backward}
+	if _, err := ce.Lineage(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Lineage(req); err != nil {
+		t.Fatal(err)
+	}
+	// A write inside the closure evicts the entry; healthz reports it.
+	if err := s.PutObject(Object{ID: "a", Kind: Data, Name: "a v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Lineage(req); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LineageCache == nil {
+		t.Fatal("healthz missing lineageCache section on a cached server")
+	}
+	lc := h.LineageCache
+	if lc.Hits != 1 || lc.Misses != 2 || lc.DeltaEvictions != 1 || lc.Entries != 1 {
+		t.Errorf("lineage cache stats = %+v, want 1 hit, 2 misses, 1 eviction, 1 entry", lc)
+	}
+	if h.QueryCache != nil {
+		t.Error("queryCache present without the query subsystem attached")
+	}
+
+	// An uncached server reports no cache section at all.
+	plain := httptest.NewServer(NewServer(NewEngine(s, privilege.TwoLevel())))
+	t.Cleanup(plain.Close)
+	h2, err := NewClient(plain.URL).Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.LineageCache != nil {
+		t.Error("lineageCache present on an uncached server")
 	}
 }
 

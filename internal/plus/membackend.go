@@ -3,6 +3,7 @@ package plus
 import (
 	"fmt"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -24,6 +25,11 @@ type MemBackend struct {
 	shards []memShard
 	seed   maphash.Seed
 
+	// horizon bounds each shard's change ring: the backend retains at
+	// least the last horizon changes overall (more when writes spread
+	// across shards). Guarded by holding every shard lock.
+	horizon int
+
 	revision atomic.Uint64
 	edges    atomic.Int64
 	snap     atomic.Pointer[Snapshot]
@@ -37,10 +43,88 @@ type memShard struct {
 	out        map[string][]Edge
 	in         map[string][]Edge
 	surrogates map[string][]SurrogateSpec
+
+	// changes is a bounded ring of this shard's recent mutations (a
+	// record lands in the shard of its primary id: the object's, the
+	// edge's From, the surrogate's ForID). ChangesSince merges the rings
+	// by revision; a request older than the retained window fails with
+	// ErrTooFarBehind — the "too far behind, rebuild from a snapshot"
+	// escape hatch.
+	changes changeRing
+}
+
+// changeRing is a fixed-capacity circular buffer of changes in revision
+// order (per shard). Writers push under the shard's write lock.
+type changeRing struct {
+	buf  []Change
+	next int // write position once the buffer is full
+}
+
+// push appends a change, evicting the oldest once capacity cap is reached.
+func (r *changeRing) push(c Change, capacity int) {
+	if capacity <= 0 {
+		return
+	}
+	if len(r.buf) < capacity {
+		r.buf = append(r.buf, c)
+		return
+	}
+	if len(r.buf) > capacity {
+		// Horizon was lowered: keep the newest entries.
+		r.trim(capacity)
+	}
+	r.buf[r.next] = c
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// trim shrinks the ring to the newest capacity entries, normalising the
+// write position to 0.
+func (r *changeRing) trim(capacity int) {
+	ordered := r.ordered(nil)
+	if len(ordered) > capacity {
+		ordered = ordered[len(ordered)-capacity:]
+	}
+	r.buf = append([]Change(nil), ordered...)
+	r.next = 0
+}
+
+// ordered appends the ring's contents in push order to out.
+func (r *changeRing) ordered(out []Change) []Change {
+	if r.next < len(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// at returns the change at logical position i (0 = oldest retained).
+func (r *changeRing) at(i int) Change {
+	if r.next < len(r.buf) {
+		return r.buf[(r.next+i)%len(r.buf)]
+	}
+	return r.buf[i]
+}
+
+// collect appends the ring entries newer than since to out. Revisions are
+// monotone in logical order, so the matching entries are a suffix found by
+// binary search — O(log n + matches) instead of a full ring copy.
+func (r *changeRing) collect(since uint64, out []Change) []Change {
+	n := len(r.buf)
+	lo := sort.Search(n, func(i int) bool { return r.at(i).Rev > since })
+	for i := lo; i < n; i++ {
+		out = append(out, r.at(i))
+	}
+	return out
 }
 
 // DefaultMemShards is the shard count NewMemBackend uses when given 0.
 const DefaultMemShards = 16
+
+// DefaultMemChangeHorizon is the per-shard change-ring capacity: how many
+// recent mutations each shard retains for ChangesSince before readers are
+// told to rebuild from a snapshot.
+const DefaultMemChangeHorizon = 4096
 
 var _ Backend = (*MemBackend)(nil)
 
@@ -51,8 +135,9 @@ func NewMemBackend(shards int) *MemBackend {
 		shards = DefaultMemShards
 	}
 	m := &MemBackend{
-		shards: make([]memShard, shards),
-		seed:   maphash.MakeSeed(),
+		shards:  make([]memShard, shards),
+		seed:    maphash.MakeSeed(),
+		horizon: DefaultMemChangeHorizon,
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]
@@ -117,7 +202,7 @@ func (m *MemBackend) PutObject(o Object) error {
 		sh.history[o.ID] = append(sh.history[o.ID], prev)
 	}
 	sh.objects[o.ID] = o
-	m.revision.Add(1)
+	sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeObject, Object: o}, m.horizon)
 	return nil
 }
 
@@ -156,7 +241,7 @@ func (m *MemBackend) PutEdge(e Edge) error {
 	from.out[e.From] = append(from.out[e.From], e)
 	to.in[e.To] = append(to.in[e.To], e)
 	m.edges.Add(1)
-	m.revision.Add(1)
+	from.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeEdge, Edge: e}, m.horizon)
 	return nil
 }
 
@@ -175,7 +260,7 @@ func (m *MemBackend) PutSurrogate(sp SurrogateSpec) error {
 		return fmt.Errorf("plus: surrogate for %s: %w", sp.ForID, ErrNotFound)
 	}
 	sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
-	m.revision.Add(1)
+	sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeSurrogate, Surrogate: sp}, m.horizon)
 	return nil
 }
 
@@ -211,19 +296,19 @@ func (m *MemBackend) Apply(b Batch) error {
 			sh.history[o.ID] = append(sh.history[o.ID], prev)
 		}
 		sh.objects[o.ID] = o
-		m.revision.Add(1)
+		sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeObject, Object: o}, m.horizon)
 	}
 	for _, e := range b.Edges {
 		from, to := m.shardFor(e.From), m.shardFor(e.To)
 		from.out[e.From] = append(from.out[e.From], e)
 		to.in[e.To] = append(to.in[e.To], e)
 		m.edges.Add(1)
-		m.revision.Add(1)
+		from.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeEdge, Edge: e}, m.horizon)
 	}
 	for _, sp := range b.Surrogates {
 		sh := m.shardFor(sp.ForID)
 		sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
-		m.revision.Add(1)
+		sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeSurrogate, Surrogate: sp}, m.horizon)
 	}
 	return nil
 }
@@ -307,6 +392,56 @@ func (m *MemBackend) NumEdges() int { return int(m.edges.Load()) }
 // Revision returns a counter that increases with every stored record.
 func (m *MemBackend) Revision() uint64 { return m.revision.Load() }
 
+// SetChangeHorizon resizes the per-shard change rings (minimum 0, which
+// retains nothing and forces every delta reader to rebuild). Safe to call
+// at any time; shrinking discards the oldest retained changes.
+func (m *MemBackend) SetChangeHorizon(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.lockAll()
+	defer m.unlockAll()
+	m.horizon = n
+	for i := range m.shards {
+		m.shards[i].changes.trim(n)
+	}
+}
+
+// ChangeHorizon reports the per-shard change-ring capacity.
+func (m *MemBackend) ChangeHorizon() int {
+	m.shards[0].mu.RLock()
+	defer m.shards[0].mu.RUnlock()
+	return m.horizon
+}
+
+// ChangesSince merges the per-shard rings into the ordered record deltas
+// applied after revision since. When part of that window has been evicted
+// from a ring it fails with ErrTooFarBehind: the caller is too far behind
+// the bounded feed and must rebuild from a fresh snapshot.
+func (m *MemBackend) ChangesSince(since uint64) ([]Change, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	m.rlockAll()
+	defer m.runlockAll()
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	rev := m.revision.Load()
+	if since > rev {
+		return nil, errFutureRevision(since, rev)
+	}
+	var out []Change
+	for i := range m.shards {
+		out = m.shards[i].changes.collect(since, out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rev < out[j].Rev })
+	if err := checkContiguous(out, since, rev); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Snapshot returns an immutable view of the backend at its current
 // revision, cached per revision like LogBackend's. The slow path briefly
 // read-locks every shard, which blocks writers but not other snapshot
@@ -330,6 +465,7 @@ func (m *MemBackend) Snapshot() (*Snapshot, error) {
 		return sn, nil
 	}
 	sn := &Snapshot{
+		source:     m,
 		rev:        rev,
 		objects:    map[string]Object{},
 		out:        map[string][]Edge{},

@@ -253,71 +253,17 @@ func buildSpec(lattice *privilege.Lattice, f *fetched) (*account.Spec, error) {
 	reg := surrogate.NewRegistry(lb)
 
 	for _, o := range f.objects {
-		feats := graph.Features{"name": o.Name, "kind": string(o.Kind)}
-		for k, v := range o.Features {
-			feats[k] = v
-		}
-		g.AddNode(graph.Node{ID: graph.NodeID(o.ID), Features: feats})
-		if o.Lowest != "" {
-			if err := lb.SetNode(graph.NodeID(o.ID), privilege.Predicate(o.Lowest)); err != nil {
-				return nil, err
-			}
-		}
-		if o.Protect != "" {
-			below := policy.Surrogate
-			if o.Protect == string(ModeHide) {
-				below = policy.Hide
-			}
-			lowest := privilege.Predicate(o.Lowest)
-			if o.Lowest == "" {
-				lowest = privilege.Public
-			}
-			if err := pol.SetNodeThreshold(graph.NodeID(o.ID), lowest, below); err != nil {
-				return nil, err
-			}
+		if err := applyObjectRecord(g, lb, pol, o); err != nil {
+			return nil, err
 		}
 	}
 	for _, e := range f.edges {
-		ge := graph.Edge{From: graph.NodeID(e.From), To: graph.NodeID(e.To), Label: e.Label}
-		if err := g.AddEdge(ge); err != nil {
-			return nil, err
-		}
-		if e.Marking == "" {
-			continue
-		}
-		lowest := privilege.Predicate(e.Lowest)
-		if e.Lowest == "" {
-			lowest = privilege.Public
-		}
-		var below policy.Marking
-		switch e.Marking {
-		case string(ModeSurrogate):
-			below = policy.Surrogate
-		case string(ModeHide):
-			below = policy.Hide
-		default:
-			return nil, fmt.Errorf("plus: edge %s->%s has unknown marking %q", e.From, e.To, e.Marking)
-		}
-		if err := pol.SetIncidenceThreshold(ge.To, ge.ID(), lowest, below); err != nil {
+		if err := applyEdgeRecord(g, pol, e); err != nil {
 			return nil, err
 		}
 	}
 	for _, sp := range f.surrogates {
-		lowest := privilege.Predicate(sp.Lowest)
-		if sp.Lowest == "" {
-			lowest = privilege.Public
-		}
-		feats := graph.Features{"name": sp.Name}
-		for k, v := range sp.Features {
-			feats[k] = v
-		}
-		err := reg.Add(graph.NodeID(sp.ForID), surrogate.Surrogate{
-			ID:        graph.NodeID(sp.ID),
-			Features:  feats,
-			Lowest:    lowest,
-			InfoScore: sp.InfoScore,
-		})
-		if err != nil {
+		if err := applySurrogateRecord(reg, sp); err != nil {
 			return nil, err
 		}
 	}

@@ -42,6 +42,11 @@ type Server struct {
 	engine   *Engine
 	answerer lineageAnswerer
 	mux      *http.ServeMux
+
+	// queryStats, when set (SetQueryStats), surfaces the PLUSQL view-cache
+	// counters in the healthz payload without this package importing the
+	// query subsystem.
+	queryStats func() QueryCacheHealth
 }
 
 // NewServer wires the HTTP handlers around an engine.
@@ -75,6 +80,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // higher layers (e.g. the PLUSQL query subsystem) extend the API without
 // this package importing them.
 func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// SetQueryStats registers the provider of the query-subsystem view-cache
+// counters rendered in healthz (plusql.Attach wires it).
+func (s *Server) SetQueryStats(fn func() QueryCacheHealth) { s.queryStats = fn }
 
 // MethodNotAllowed writes the API's standard JSON method-not-allowed
 // response with an Allow header listing the admissible methods.
@@ -353,13 +362,33 @@ type StatsResponse struct {
 
 var serverStart = time.Now()
 
+// QueryCacheHealth mirrors the PLUSQL view-cache counters
+// (plusql.ViewCacheStats) in the healthz payload; it lives here so the
+// probe response stays typed without an import cycle.
+type QueryCacheHealth struct {
+	Views           int    `json:"views"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Advanced        uint64 `json:"advanced"`
+	AdvanceRebuilds uint64 `json:"advanceRebuilds"`
+	FullBuilds      uint64 `json:"fullBuilds"`
+	Fallbacks       uint64 `json:"fallbacks"`
+}
+
 // HealthzResponse is the readiness-probe answer: whether the backend is
-// open plus the live counts and revision a deployment can alert on.
+// open plus the live counts, revision and cache/delta activity a
+// deployment can alert on.
 type HealthzResponse struct {
 	Status   string `json:"status"` // "ok" or "unavailable"
 	Objects  int    `json:"objects"`
 	Edges    int    `json:"edges"`
 	Revision uint64 `json:"revision"`
+	// LineageCache reports the delta-scoped lineage answer cache (present
+	// when the server fronts a CachedEngine).
+	LineageCache *LineageCacheStats `json:"lineageCache,omitempty"`
+	// QueryCache reports the PLUSQL protected-view cache (present when
+	// the query subsystem is attached).
+	QueryCache *QueryCacheHealth `json:"queryCache,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -375,12 +404,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthzResponse{
+	resp := HealthzResponse{
 		Status:   "ok",
 		Objects:  b.NumObjects(),
 		Edges:    b.NumEdges(),
 		Revision: b.Revision(),
-	})
+	}
+	if ce, ok := s.answerer.(*CachedEngine); ok {
+		st := ce.Stats()
+		resp.LineageCache = &st
+	}
+	if s.queryStats != nil {
+		st := s.queryStats()
+		resp.QueryCache = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -16,7 +16,9 @@
 // and protection, and this engine reproduces that decomposition honestly.
 // MemBackend (membackend.go) is the volatile, shard-partitioned engine for
 // read-heavy serving. Both hand queries immutable revision-stamped
-// snapshots, so lineage traversal never blocks writers.
+// snapshots, so lineage traversal never blocks writers, and both expose
+// the change feed (ChangesSince / Snapshot.DeltaSince) that the account,
+// view and cache layers consume for incremental maintenance.
 package plus
 
 import (
@@ -121,8 +123,22 @@ type LogBackend struct {
 	// matches the store's. Readers hitting the cache never touch mu.
 	snap atomic.Pointer[Snapshot]
 
+	// changes is the bounded in-memory change feed: changes[i] was
+	// applied at revision changesBase+i+1. The append-only log is the
+	// full history on disk, but only a recent window is kept resident —
+	// long-lived update-heavy stores would otherwise duplicate their
+	// whole write history in memory. Requests past the window fail with
+	// ErrTooFarBehind and callers rebuild from a snapshot.
+	changes       []Change
+	changesBase   uint64
+	changeHorizon int
+
 	closed atomic.Bool
 }
+
+// DefaultLogChangeHorizon is how many recent changes the durable backend
+// keeps resident for ChangesSince.
+const DefaultLogChangeHorizon = 1 << 16
 
 // Store is the historical name of the durable engine, kept as an alias so
 // existing callers and tests keep compiling.
@@ -146,14 +162,15 @@ func Open(path string, opts Options) (*LogBackend, error) {
 		return nil, fmt.Errorf("plus: open %s: %w", path, err)
 	}
 	s := &LogBackend{
-		f:          f,
-		path:       path,
-		sync:       opts.Sync,
-		objects:    map[string]Object{},
-		history:    map[string][]Object{},
-		out:        map[string][]Edge{},
-		in:         map[string][]Edge{},
-		surrogates: map[string][]SurrogateSpec{},
+		f:             f,
+		path:          path,
+		sync:          opts.Sync,
+		objects:       map[string]Object{},
+		history:       map[string][]Object{},
+		out:           map[string][]Edge{},
+		in:            map[string][]Edge{},
+		surrogates:    map[string][]SurrogateSpec{},
+		changeHorizon: DefaultLogChangeHorizon,
 	}
 	if err := s.replay(); err != nil {
 		f.Close()
@@ -238,6 +255,7 @@ func readRecord(r io.Reader) ([]byte, int64, error) {
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func (s *LogBackend) apply(kind byte, body []byte) error {
+	c := Change{}
 	switch kind {
 	case recObject:
 		var o Object
@@ -248,6 +266,7 @@ func (s *LogBackend) apply(kind byte, body []byte) error {
 			s.history[o.ID] = append(s.history[o.ID], prev)
 		}
 		s.objects[o.ID] = o
+		c.Kind, c.Object = ChangeObject, o
 	case recEdge:
 		var e Edge
 		if err := json.Unmarshal(body, &e); err != nil {
@@ -255,23 +274,88 @@ func (s *LogBackend) apply(kind byte, body []byte) error {
 		}
 		s.out[e.From] = append(s.out[e.From], e)
 		s.in[e.To] = append(s.in[e.To], e)
+		c.Kind, c.Edge = ChangeEdge, e
 	case recSurrogate:
 		var sp SurrogateSpec
 		if err := json.Unmarshal(body, &sp); err != nil {
 			return err
 		}
 		s.surrogates[sp.ForID] = append(s.surrogates[sp.ForID], sp)
+		c.Kind, c.Surrogate = ChangeSurrogate, sp
 	default:
 		return fmt.Errorf("plus: unknown record type %d", kind)
 	}
-	s.revision.Add(1)
+	c.Rev = s.revision.Add(1)
+	s.changes = append(s.changes, c)
+	s.trimChanges()
 	return nil
+}
+
+// trimChanges drops the oldest retained changes once the window exceeds
+// the horizon by half (slack keeps the copy amortised O(1) per write).
+func (s *LogBackend) trimChanges() {
+	h := s.changeHorizon
+	if h < 0 {
+		h = 0
+	}
+	if len(s.changes) <= h+h/2 {
+		return
+	}
+	drop := len(s.changes) - h
+	s.changesBase += uint64(drop)
+	s.changes = append(s.changes[:0:0], s.changes[drop:]...)
+}
+
+// SetChangeHorizon resizes the resident change window (minimum 0, which
+// retains nothing). Shrinking discards the oldest retained changes.
+func (s *LogBackend) SetChangeHorizon(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.changeHorizon = n
+	if len(s.changes) > n {
+		drop := len(s.changes) - n
+		s.changesBase += uint64(drop)
+		s.changes = append(s.changes[:0:0], s.changes[drop:]...)
+	}
+}
+
+// ChangeHorizon reports the resident change-window capacity.
+func (s *LogBackend) ChangeHorizon() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.changeHorizon
 }
 
 // Revision returns a counter that increases with every stored record;
 // equal revisions imply identical store contents (within one process).
 func (s *LogBackend) Revision() uint64 {
 	return s.revision.Load()
+}
+
+// ChangesSince returns the records applied after revision since, in
+// order. Only the recent window (ChangeHorizon) is resident; a request
+// past it fails with ErrTooFarBehind and the caller rebuilds from a
+// snapshot.
+func (s *LogBackend) ChangesSince(since uint64) ([]Change, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	rev := s.revision.Load()
+	if since > rev {
+		return nil, errFutureRevision(since, rev)
+	}
+	if since < s.changesBase {
+		return nil, ErrTooFarBehind
+	}
+	return append([]Change(nil), s.changes[since-s.changesBase:rev-s.changesBase]...), nil
 }
 
 // Snapshot returns an immutable view of the store at its current
@@ -296,7 +380,7 @@ func (s *LogBackend) Snapshot() (*Snapshot, error) {
 	if sn := s.snap.Load(); sn != nil && sn.rev == rev {
 		return sn, nil
 	}
-	sn := cloneIndex(rev, s.objects, s.out, s.in, s.surrogates)
+	sn := cloneIndex(s, rev, s.objects, s.out, s.in, s.surrogates)
 	s.snap.Store(sn)
 	return sn, nil
 }

@@ -1,0 +1,289 @@
+package plusql
+
+import (
+	"sort"
+
+	"repro/internal/account"
+	"repro/internal/graph"
+	"repro/internal/plus"
+)
+
+// This file implements delta-scoped view refresh: instead of rebuilding a
+// protected view from a whole snapshot after every write, the engine pulls
+// the change-feed delta between the view's revision and the snapshot's,
+// advances the retained spec record-for-record, incrementally maintains
+// the protected account (internal/account.Maintain), and patches the
+// view's node/kind/adjacency indexes in place — invalidating only the
+// reachability memos the dirty region can reach.
+
+// AdvanceInfo reports how one view advance was served.
+type AdvanceInfo struct {
+	// AccountRebuilt reports the account was regenerated from the
+	// (incrementally advanced) spec because the delta could not be
+	// localised; Reason says why.
+	AccountRebuilt bool
+	Reason         string
+	// Dirty is the size of the account's dirty region (original nodes).
+	Dirty int
+}
+
+// memoDropAllThreshold bounds the per-added-edge reachability scans used
+// for scoped memo invalidation; past it, dropping every memo is cheaper.
+const memoDropAllThreshold = 32
+
+// Advance derives the view of snapshot sn for the same (viewer, mode) by
+// incrementally maintaining this view's account with the changes between
+// the two revisions. It returns ok=false when the view cannot advance —
+// spec already consumed by a concurrent advance, change feed too far
+// behind (or closed), or the delta failed to apply — and the caller falls
+// back to a full NewView build.
+func (v *View) Advance(sn *plus.Snapshot) (*View, AdvanceInfo, bool) {
+	if sn.Revision() < v.rev {
+		return nil, AdvanceInfo{}, false
+	}
+	// One-shot spec ownership: the spec is mutated forward, so only one
+	// successor view may ever be derived from it.
+	v.mu.Lock()
+	spec := v.spec
+	v.spec = nil
+	v.mu.Unlock()
+	if spec == nil {
+		return nil, AdvanceInfo{}, false
+	}
+	if sn.Revision() == v.rev {
+		// Same revision: nothing to do; hand the spec back.
+		v.mu.Lock()
+		v.spec = spec
+		v.mu.Unlock()
+		return v, AdvanceInfo{}, true
+	}
+	delta, err := sn.DeltaSince(v.rev)
+	if err != nil {
+		// Too far behind the retained feed (or the backend closed): the
+		// old spec is still intact; restore it for a later attempt.
+		v.mu.Lock()
+		v.spec = spec
+		v.mu.Unlock()
+		return nil, AdvanceInfo{}, false
+	}
+	ad := plus.ClassifyDelta(spec, delta)
+	pre := account.Capture(spec, ad)
+	if err := plus.ApplyDelta(spec, delta); err != nil {
+		// The spec may be half-advanced; it must not be reused.
+		return nil, AdvanceInfo{}, false
+	}
+
+	var (
+		acct2 *account.Account
+		st    account.MaintainStats
+	)
+	if v.mode == plus.ModeHide {
+		acct2, st, err = account.MaintainHide(v.acct, spec, ad)
+	} else {
+		acct2, st, err = account.Maintain(v.acct, spec, ad, pre)
+	}
+	if err != nil {
+		return nil, AdvanceInfo{}, false
+	}
+
+	nv := &View{
+		rev:    sn.Revision(),
+		viewer: v.viewer,
+		mode:   v.mode,
+		acct:   acct2,
+		spec:   spec,
+	}
+	if st.Rebuilt {
+		nv.index()
+		return nv, AdvanceInfo{AccountRebuilt: true, Reason: st.Reason}, true
+	}
+	nv.patch(v, st)
+	return nv, AdvanceInfo{Dirty: st.Dirty}, true
+}
+
+// patch builds the new view's indexes from the old view's by applying the
+// maintenance stats, copy-on-write so live queries on the old view are
+// never disturbed.
+func (nv *View) patch(old *View, st account.MaintainStats) {
+	// Node list.
+	if len(st.AddedNodes) == 0 && len(st.RemovedNodes) == 0 {
+		nv.nodes = old.nodes
+	} else {
+		removed := map[graph.NodeID]bool{}
+		for _, id := range st.RemovedNodes {
+			removed[id] = true
+		}
+		nodes := make([]graph.NodeID, 0, len(old.nodes)+len(st.AddedNodes))
+		for _, id := range old.nodes {
+			if !removed[id] {
+				nodes = append(nodes, id)
+			}
+		}
+		nodes = append(nodes, st.AddedNodes...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		nv.nodes = nodes
+	}
+
+	// Kind index: recompute only the kinds the patch touched. A replaced
+	// node may have changed its released "kind" feature, so updated nodes
+	// contribute both their old and new kind.
+	touchedKinds := map[string]bool{}
+	newKind := map[graph.NodeID]string{}
+	for _, id := range st.AddedNodes {
+		k := nv.Features(id)["kind"]
+		newKind[id] = k
+		touchedKinds[k] = true
+	}
+	for _, id := range st.UpdatedNodes {
+		oldK := old.Features(id)["kind"]
+		k := nv.Features(id)["kind"]
+		newKind[id] = k
+		if k != oldK {
+			touchedKinds[oldK] = true
+			touchedKinds[k] = true
+		}
+	}
+	for _, id := range st.RemovedNodes {
+		touchedKinds[old.Features(id)["kind"]] = true
+		newKind[id] = ""
+	}
+	delete(touchedKinds, "")
+	nv.byKind = make(map[string][]graph.NodeID, len(old.byKind))
+	for k, ids := range old.byKind {
+		if !touchedKinds[k] {
+			nv.byKind[k] = ids
+		}
+	}
+	for k := range touchedKinds {
+		var ids []graph.NodeID
+		for _, id := range old.byKind[k] {
+			if nk, changed := newKind[id]; changed && nk != k {
+				continue
+			}
+			ids = append(ids, id)
+		}
+		for id, nk := range newKind {
+			if nk == k && !contains(old.byKind[k], id) {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if len(ids) > 0 {
+			nv.byKind[k] = ids
+		}
+	}
+
+	// Adjacency: clone the map headers, copy-on-write the slices of the
+	// endpoints the patch touched.
+	nv.out = make(map[graph.NodeID][]Neighbor, len(old.out))
+	for id, ns := range old.out {
+		nv.out[id] = ns
+	}
+	nv.in = make(map[graph.NodeID][]Neighbor, len(old.in))
+	for id, ns := range old.in {
+		nv.in[id] = ns
+	}
+	cowOut := map[graph.NodeID]bool{}
+	cowIn := map[graph.NodeID]bool{}
+	outSlice := func(id graph.NodeID) []Neighbor {
+		if !cowOut[id] {
+			cowOut[id] = true
+			nv.out[id] = append([]Neighbor(nil), nv.out[id]...)
+		}
+		return nv.out[id]
+	}
+	inSlice := func(id graph.NodeID) []Neighbor {
+		if !cowIn[id] {
+			cowIn[id] = true
+			nv.in[id] = append([]Neighbor(nil), nv.in[id]...)
+		}
+		return nv.in[id]
+	}
+	nv.edges = old.edges
+	for _, eid := range st.RemovedEdges {
+		nv.out[eid.From] = removeNeighbor(outSlice(eid.From), eid.To)
+		nv.in[eid.To] = removeNeighbor(inSlice(eid.To), eid.From)
+		nv.edges--
+	}
+	for _, e := range st.AddedEdges {
+		nv.out[e.From] = insertNeighbor(outSlice(e.From), Neighbor{To: e.To, Label: e.Label})
+		nv.in[e.To] = insertNeighbor(inSlice(e.To), Neighbor{To: e.From, Label: e.Label})
+		nv.edges++
+	}
+
+	// Reachability memos: closures only change where the dirty region can
+	// reach them. An added edge u->v staleness-taints the forward memos of
+	// everything that reaches u and the backward memos of everything v
+	// reaches; removals (rare: hide-mode visibility downgrades) drop all.
+	old.mu.Lock()
+	oldFwd := old.fwdReach
+	oldBack := old.backReach
+	sampleFwd := make(map[graph.NodeID][]graph.NodeID, len(oldFwd))
+	for k, vv := range oldFwd {
+		sampleFwd[k] = vv
+	}
+	sampleBack := make(map[graph.NodeID][]graph.NodeID, len(oldBack))
+	for k, vv := range oldBack {
+		sampleBack[k] = vv
+	}
+	old.mu.Unlock()
+	if len(sampleFwd) == 0 && len(sampleBack) == 0 {
+		// Nothing memoised: skip the staleness scans entirely.
+		nv.fwdReach = map[graph.NodeID][]graph.NodeID{}
+		nv.backReach = map[graph.NodeID][]graph.NodeID{}
+		return
+	}
+	if len(st.RemovedEdges) > 0 || len(st.RemovedNodes) > 0 ||
+		len(st.AddedEdges) > memoDropAllThreshold {
+		nv.fwdReach = map[graph.NodeID][]graph.NodeID{}
+		nv.backReach = map[graph.NodeID][]graph.NodeID{}
+		return
+	}
+	staleFwd := map[graph.NodeID]bool{}
+	staleBack := map[graph.NodeID]bool{}
+	for _, e := range st.AddedEdges {
+		staleFwd[e.From] = true
+		for id := range nv.acct.Graph.Reachable(e.From, graph.Backward) {
+			staleFwd[id] = true
+		}
+		staleBack[e.To] = true
+		for id := range nv.acct.Graph.Reachable(e.To, graph.Forward) {
+			staleBack[id] = true
+		}
+	}
+	nv.fwdReach = map[graph.NodeID][]graph.NodeID{}
+	for id, r := range sampleFwd {
+		if !staleFwd[id] {
+			nv.fwdReach[id] = r
+		}
+	}
+	nv.backReach = map[graph.NodeID][]graph.NodeID{}
+	for id, r := range sampleBack {
+		if !staleBack[id] {
+			nv.backReach[id] = r
+		}
+	}
+}
+
+func contains(ids []graph.NodeID, id graph.NodeID) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	return i < len(ids) && ids[i] == id
+}
+
+// insertNeighbor inserts nb into a slice sorted by To, keeping it sorted.
+func insertNeighbor(ns []Neighbor, nb Neighbor) []Neighbor {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i].To >= nb.To })
+	ns = append(ns, Neighbor{})
+	copy(ns[i+1:], ns[i:])
+	ns[i] = nb
+	return ns
+}
+
+// removeNeighbor removes the entry with the given far endpoint.
+func removeNeighbor(ns []Neighbor, to graph.NodeID) []Neighbor {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i].To >= to })
+	if i < len(ns) && ns[i].To == to {
+		return append(ns[:i], ns[i+1:]...)
+	}
+	return ns
+}

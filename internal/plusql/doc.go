@@ -62,4 +62,12 @@
 // short-circuits all upstream work. Engine caches the protected view per
 // (store revision, viewer, mode); queries therefore run lock-free against
 // immutable data and never block writers.
+//
+// Views are maintained incrementally: on a revision bump the engine pulls
+// the backend change feed (Snapshot.DeltaSince), advances the cached
+// view's spec record-for-record, patches the protected account's dirty
+// region (account.Maintain) and the scan indexes in place, and drops only
+// the reachability memos the delta can affect (View.Advance). A full
+// snapshot rebuild happens only when the delta cannot be localised or the
+// feed no longer retains the revision window.
 package plusql

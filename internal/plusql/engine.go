@@ -51,16 +51,41 @@ type Options struct {
 // for concurrent use.
 //
 // The whole-snapshot view is what makes arbitrary conjunctive queries
-// policy-sound without per-binding checks, but it is invalidated by any
-// write (like CachedEngine's lineage cache): under a write-heavy mix the
-// first query after each write pays an O(store) account rebuild.
-// Incremental view maintenance is the known follow-up for that workload.
+// policy-sound without per-binding checks. A write no longer discards it:
+// the engine pulls the change-feed delta between the cached view's
+// revision and the current one and advances the view in place
+// (View.Advance) — the dirty region of the account is regenerated, the
+// scan indexes are patched, and only intersecting reachability memos are
+// dropped. A full rebuild happens only when the delta cannot be
+// localised (protection changes, completion-sweep vetoes) or the backend
+// no longer retains the revision window.
 type Engine struct {
 	store   plus.Backend
 	lattice *privilege.Lattice
 
-	mu    sync.Mutex
-	views map[viewKey]*View
+	mu          sync.Mutex
+	views       map[viewKey]*View
+	incremental bool
+	stats       ViewCacheStats
+}
+
+// ViewCacheStats reports the protected-view cache counters.
+type ViewCacheStats struct {
+	// Views is the live cached view count.
+	Views int `json:"views"`
+	// Hits / Misses count view lookups by (revision, viewer, mode).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Advanced counts views refreshed by patching the delta's dirty
+	// region; AdvanceRebuilds counts advances where the spec moved
+	// incrementally but the account had to be regenerated.
+	Advanced        uint64 `json:"advanced"`
+	AdvanceRebuilds uint64 `json:"advanceRebuilds"`
+	// FullBuilds counts views built from scratch off a snapshot;
+	// Fallbacks counts advance attempts abandoned (feed too far behind,
+	// spec already consumed by a concurrent advance).
+	FullBuilds uint64 `json:"fullBuilds"`
+	Fallbacks  uint64 `json:"fallbacks"`
 }
 
 type viewKey struct {
@@ -72,15 +97,34 @@ type viewKey struct {
 // NewEngine binds a backend to the lattice its privilege nicknames refer
 // to.
 func NewEngine(store plus.Backend, lattice *privilege.Lattice) *Engine {
-	return &Engine{store: store, lattice: lattice, views: map[viewKey]*View{}}
+	return &Engine{store: store, lattice: lattice, views: map[viewKey]*View{}, incremental: true}
 }
 
 // Lattice returns the engine's privilege lattice.
 func (e *Engine) Lattice() *privilege.Lattice { return e.lattice }
 
+// SetIncremental toggles delta-scoped view refresh (on by default); off
+// forces every revision bump to rebuild views from a snapshot. A
+// benchmarking knob, not a serving mode.
+func (e *Engine) SetIncremental(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.incremental = on
+}
+
+// CacheStats reports the view-cache counters.
+func (e *Engine) CacheStats() ViewCacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.Views = len(e.views)
+	return st
+}
+
 // view returns the cached protected view for (current revision, viewer,
-// mode), building it from a fresh snapshot on miss and evicting views of
-// older revisions.
+// mode). On miss it first tries to advance the newest cached view of the
+// same (viewer, mode) by the change-feed delta, then falls back to a full
+// build from the snapshot; views of older revisions are evicted.
 func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, error) {
 	sn, err := e.store.Snapshot()
 	if err != nil {
@@ -88,24 +132,62 @@ func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, error)
 	}
 	key := viewKey{rev: sn.Revision(), viewer: viewer, mode: mode}
 	e.mu.Lock()
-	v, ok := e.views[key]
-	e.mu.Unlock()
-	if ok {
+	if v, ok := e.views[key]; ok {
+		e.stats.Hits++
+		e.mu.Unlock()
 		return v, nil
 	}
-	v, err = NewView(sn, e.lattice, viewer, mode)
+	e.stats.Misses++
+	var prev *View
+	if e.incremental {
+		var prevRev uint64
+		for k, cand := range e.views {
+			if k.viewer == viewer && k.mode == mode && k.rev < key.rev && (prev == nil || k.rev > prevRev) {
+				prev, prevRev = cand, k.rev
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	if prev != nil {
+		if nv, info, ok := prev.Advance(sn); ok {
+			e.mu.Lock()
+			if info.AccountRebuilt {
+				e.stats.AdvanceRebuilds++
+			} else {
+				e.stats.Advanced++
+			}
+			nv = e.cache(key, nv)
+			e.mu.Unlock()
+			return nv, nil
+		}
+		e.mu.Lock()
+		e.stats.Fallbacks++
+		e.mu.Unlock()
+	}
+
+	v, err := NewView(sn, e.lattice, viewer, mode)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	// Keep whichever view won a concurrent build race so callers share
-	// one closure memo; and never let a slow build for an old revision
-	// evict or displace views of a newer one.
+	e.stats.FullBuilds++
+	v = e.cache(key, v)
+	e.mu.Unlock()
+	return v, nil
+}
+
+// cache installs a freshly built or advanced view, keeping whichever view
+// won a concurrent race so callers share one closure memo, and never
+// letting a slow build for an old revision evict or displace views of a
+// newer one. Callers must hold e.mu.
+func (e *Engine) cache(key viewKey, v *View) *View {
 	switch won, ok := e.views[key]; {
 	case ok:
-		v = won
+		return won
 	case e.newestCached() > key.rev:
 		// Stale build: serve it to this caller but don't cache it.
+		return v
 	default:
 		for k := range e.views {
 			if k.rev < key.rev {
@@ -113,9 +195,8 @@ func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, error)
 			}
 		}
 		e.views[key] = v
+		return v
 	}
-	e.mu.Unlock()
-	return v, nil
 }
 
 // newestCached reports the highest revision in the view cache (0 when

@@ -129,8 +129,23 @@ func writeQueryError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// Attach mounts the query endpoint on a plus server.
-func Attach(s *plus.Server, e *Engine) { s.Handle("/v1/query", NewHandler(e)) }
+// Attach mounts the query endpoint on a plus server and wires the
+// view-cache counters into its healthz payload.
+func Attach(s *plus.Server, e *Engine) {
+	s.Handle("/v1/query", NewHandler(e))
+	s.SetQueryStats(func() plus.QueryCacheHealth {
+		st := e.CacheStats()
+		return plus.QueryCacheHealth{
+			Views:           st.Views,
+			Hits:            st.Hits,
+			Misses:          st.Misses,
+			Advanced:        st.Advanced,
+			AdvanceRebuilds: st.AdvanceRebuilds,
+			FullBuilds:      st.FullBuilds,
+			Fallbacks:       st.Fallbacks,
+		}
+	})
+}
 
 // ClientQuery runs one PLUSQL query against a remote plusd server through
 // the standard plus client.

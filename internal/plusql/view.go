@@ -36,6 +36,14 @@ type View struct {
 	mu        sync.Mutex
 	fwdReach  map[graph.NodeID][]graph.NodeID
 	backReach map[graph.NodeID][]graph.NodeID
+
+	// spec is the account's generation spec, retained so the view can be
+	// advanced by a change-feed delta instead of rebuilt from a snapshot.
+	// It roughly doubles a cached view's footprint — the price of
+	// incremental maintenance. Ownership is one-shot: Advance mutates the
+	// spec forward and moves it to the successor view, so it is guarded by
+	// mu and nilled once consumed.
+	spec *account.Spec
 }
 
 // Neighbor is one adjacency entry of a view node.
@@ -76,16 +84,25 @@ func NewView(sn *plus.Snapshot, lattice *privilege.Lattice, viewer privilege.Pre
 	}
 
 	v := &View{
-		rev:       sn.Revision(),
-		viewer:    viewer,
-		mode:      mode,
-		acct:      acct,
-		byKind:    map[string][]graph.NodeID{},
-		out:       map[graph.NodeID][]Neighbor{},
-		in:        map[graph.NodeID][]Neighbor{},
-		fwdReach:  map[graph.NodeID][]graph.NodeID{},
-		backReach: map[graph.NodeID][]graph.NodeID{},
+		rev:    sn.Revision(),
+		viewer: viewer,
+		mode:   mode,
+		acct:   acct,
+		spec:   spec,
 	}
+	v.index()
+	return v, nil
+}
+
+// index (re)builds the scan indexes from the account graph.
+func (v *View) index() {
+	acct := v.acct
+	v.byKind = map[string][]graph.NodeID{}
+	v.out = map[graph.NodeID][]Neighbor{}
+	v.in = map[graph.NodeID][]Neighbor{}
+	v.fwdReach = map[graph.NodeID][]graph.NodeID{}
+	v.backReach = map[graph.NodeID][]graph.NodeID{}
+	v.edges = 0
 	v.nodes = acct.Graph.Nodes() // sorted
 	for _, id := range v.nodes {
 		n, _ := acct.Graph.NodeByID(id)
@@ -102,7 +119,6 @@ func NewView(sn *plus.Snapshot, lattice *privilege.Lattice, viewer privilege.Pre
 		es := v.in[id]
 		sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
 	}
-	return v, nil
 }
 
 // Revision reports the snapshot revision the view was built from.
@@ -111,10 +127,7 @@ func (v *View) Revision() uint64 { return v.rev }
 // Viewer reports the privilege-predicate the view protects for.
 func (v *View) Viewer() privilege.Predicate { return v.viewer }
 
-// Account exposes the underlying protected account (read-only). The
-// spec it was generated from is deliberately not retained: cached views
-// would otherwise hold a second whole-store copy of the graph, labeling
-// and policy (rebuild one with plus.SpecFromSnapshot when needed).
+// Account exposes the underlying protected account (read-only).
 func (v *View) Account() *account.Account { return v.acct }
 
 // NumNodes reports how many nodes the viewer may see.

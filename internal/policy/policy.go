@@ -187,6 +187,20 @@ func (p *Policy) SetNodeThreshold(n graph.NodeID, at privilege.Predicate, below 
 	return nil
 }
 
+// NodeThreshold reports the threshold rule installed for node n, if any.
+// Incremental maintainers compare it across spec revisions to decide
+// whether a replaced object changed its protection.
+func (p *Policy) NodeThreshold(n graph.NodeID) (at privilege.Predicate, below Marking, ok bool) {
+	th, ok := p.nodeThresh[n]
+	return th.at, th.below, ok
+}
+
+// ClearNodeThreshold removes node n's threshold rule (a replaced object
+// whose new version carries no protection marking).
+func (p *Policy) ClearNodeThreshold(n graph.NodeID) {
+	delete(p.nodeThresh, n)
+}
+
 // Mark resolves mark(n, e, pr) per the resolution order documented on
 // Policy.
 func (p *Policy) Mark(n graph.NodeID, e graph.EdgeID, pr privilege.Predicate) Marking {

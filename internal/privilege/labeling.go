@@ -41,6 +41,12 @@ func (lb *Labeling) SetNode(n graph.NodeID, p Predicate) error {
 	return nil
 }
 
+// ClearNode removes node n's explicit lowest() assignment, restoring the
+// Public default (a replaced object whose new version carries no Lowest).
+func (lb *Labeling) ClearNode(n graph.NodeID) {
+	delete(lb.nodes, n)
+}
+
 // SetEdge assigns lowest(e) = p for a whole edge (independent of the
 // per-incidence release markings in package policy; this is the edge's own
 // sensitivity).
