@@ -7,12 +7,16 @@
 // Usage:
 //
 //	audit -spec graph.json -viewers High-1,High-2 [-edges f->g,c->f]
+//	audit -server http://localhost:7337 -viewers High-1,High-2 [...]
 //
-// The spec file format is the same as cmd/protect's (core.SpecFile). With
-// no -edges the audit scores every edge of the original graph.
+// The spec file format is the same as cmd/protect's (core.SpecFile); with
+// -server the graph and lattice are pulled from a live plusd server
+// through the v2 SDK (pkg/plusclient) instead. With no -edges the audit
+// scores every edge of the original graph.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -48,22 +52,19 @@ func parseEdges(s string) ([]graph.EdgeID, error) {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
-	specPath := fs.String("spec", "", "path to the JSON graph spec (required)")
+	specPath := fs.String("spec", "", "path to the JSON graph spec")
+	server := fs.String("server", "", "plusd base URL to pull the graph from instead of -spec")
 	viewersFlag := fs.String("viewers", "", "comma-separated consumer predicates whose accounts are released (required)")
 	edgesFlag := fs.String("edges", "", "comma-separated sensitive edges to score (from->to); default all")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *specPath == "" || *viewersFlag == "" {
-		return fmt.Errorf("missing -spec or -viewers (run with -h for usage)")
+	if *viewersFlag == "" {
+		return fmt.Errorf("missing -viewers (run with -h for usage)")
 	}
-	data, err := os.ReadFile(*specPath)
+	spec, err := core.LoadSpecSource(context.Background(), *specPath, *server)
 	if err != nil {
 		return err
-	}
-	spec, err := core.ParseSpecJSON(data)
-	if err != nil {
-		return fmt.Errorf("%s: %w", *specPath, err)
 	}
 
 	var viewers []privilege.Predicate

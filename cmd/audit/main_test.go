@@ -1,8 +1,12 @@
 package main
 
 import (
+	"net/http/httptest"
+
 	"bytes"
 	"os"
+	"repro/internal/plus"
+	"repro/internal/privilege"
 	"strings"
 	"testing"
 )
@@ -87,5 +91,44 @@ func TestParseEdges(t *testing.T) {
 	}
 	if _, err := parseEdges("->b"); err == nil {
 		t.Error("empty endpoint accepted")
+	}
+}
+
+// TestRunAuditRemote pulls the graph from a live server through the v2
+// SDK and audits account composition exactly like the spec-file path.
+func TestRunAuditRemote(t *testing.T) {
+	backend := plus.NewMemBackend(2)
+	t.Cleanup(func() { backend.Close() })
+	srv := httptest.NewServer(plus.NewServer(plus.NewEngine(backend, privilege.FigureOneLattice())))
+	t.Cleanup(srv.Close)
+	_, err := backend.Apply(plus.Batch{
+		Objects: []plus.Object{
+			{ID: "pub", Kind: plus.Data, Name: "public record"},
+			{ID: "f", Kind: plus.Data, Name: "informant", Lowest: "High-1"},
+			{ID: "g", Kind: plus.Data, Name: "suspect", Lowest: "High-2"},
+		},
+		Edges: []plus.Edge{
+			{From: "pub", To: "f"},
+			{From: "pub", To: "g"},
+			{From: "f", To: "g", Lowest: "High-1", Marking: "hide"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-server", srv.URL, "-viewers", "High-1,High-2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "f->g") {
+		t.Errorf("audit report missing the sensitive edge:\n%s", out.String())
+	}
+
+	if err := run([]string{"-server", srv.URL, "-spec", "x.json", "-viewers", "High-1,High-2"}, &out); err == nil {
+		t.Error("-spec with -server accepted")
+	}
+	if err := run([]string{"-viewers", "High-1,High-2"}, &out); err == nil {
+		t.Error("neither -spec nor -server accepted")
 	}
 }

@@ -12,22 +12,35 @@
 //	get ID
 //	lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]
 //	query [-viewer P] [-mode surrogate|hide] [-limit N] [-format table|json] [-explain] 'PLUSQL'
+//	batch [-viewer P] [-file batch.json]
+//	follow [-viewer P] [-cursor C] [-tail] [-wait D] [-max N] [-no-resync]
 //	stats
 //	healthz
 //	export-opm
 //	import-opm [-file doc.json]
+//
+// batch and follow speak the v2 API through the Go SDK (pkg/plusclient):
+// batch ingests a {"objects": [...], "edges": [...], "surrogates": [...]}
+// document atomically and prints the resulting revision and change-feed
+// cursor; follow streams the change feed as JSON lines, resuming from
+// -cursor, and exits at the first catch-up unless -tail keeps it
+// attached. Any non-2xx server answer exits non-zero.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/plus"
 	"repro/internal/plusql"
+	"repro/pkg/plusclient"
 )
 
 // commands lists every subcommand with a one-line synopsis; the usage
@@ -39,6 +52,8 @@ var commands = []struct{ name, synopsis string }{
 	{"get", `get ID`},
 	{"lineage", `lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]`},
 	{"query", `query [-viewer P] [-mode surrogate|hide] [-limit N] [-format table|json] [-explain] 'PLUSQL query'`},
+	{"batch", `batch [-viewer P] [-file batch.json]`},
+	{"follow", `follow [-viewer P] [-cursor C] [-tail] [-wait D] [-max N] [-no-resync]`},
 	{"stats", `stats`},
 	{"status", `status`},
 	{"healthz", `healthz`},
@@ -134,6 +149,26 @@ func printJSON(v interface{}) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// sdkClient builds the v2 SDK client for the same server the v1 client
+// targets, with an optional viewer principal.
+func sdkClient(c *plus.Client, viewer string) *plusclient.Client {
+	var opts []plusclient.Option
+	if viewer != "" {
+		opts = append(opts, plusclient.WithViewer(viewer))
+	}
+	return plusclient.New(c.BaseURL(), opts...)
+}
+
+// healthzExit turns a degraded probe answer into a non-zero exit: the
+// payload printed fine, but scripts keying on the exit code must see the
+// failure (a 503 probe answer used to exit 0).
+func healthzExit(h plus.HealthzResponse) error {
+	if h.Status != "ok" {
+		return fmt.Errorf("server unavailable (status %q)", h.Status)
+	}
+	return nil
 }
 
 func run() error {
@@ -237,6 +272,62 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 			return printJSON(resp)
 		}
 		return printQueryTable(os.Stdout, resp)
+	case "batch":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		viewer := fs.String("viewer", "", "privilege-predicate principal (X-Plus-Viewer)")
+		file := fs.String("file", "", "batch JSON document to ingest (default stdin)")
+		_ = fs.Parse(rest)
+		in := io.Reader(os.Stdin)
+		if *file != "" {
+			f, err := os.Open(*file)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		var b plusclient.BatchRequest
+		dec := json.NewDecoder(in)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&b); err != nil {
+			return fmt.Errorf("batch document: %w", err)
+		}
+		resp, err := sdkClient(c, *viewer).Batch(context.Background(), b)
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
+	case "follow":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		viewer := fs.String("viewer", "", "privilege-predicate principal (X-Plus-Viewer)")
+		cursor := fs.String("cursor", "", "resume position (from a previous event, batch or snapshot)")
+		tail := fs.Bool("tail", false, "keep following after catching up (default: exit at first sync)")
+		wait := fs.Duration("wait", 10*time.Second, "per-connection long-poll budget when tailing")
+		maxEvents := fs.Int("max", 0, "stop after this many change events (0 = unbounded)")
+		noResync := fs.Bool("no-resync", false, "fail with the 410 instead of auto-resyncing from a snapshot")
+		_ = fs.Parse(rest)
+		enc := json.NewEncoder(os.Stdout)
+		changes := 0
+		err := sdkClient(c, *viewer).Follow(context.Background(), *cursor,
+			plusclient.FollowOptions{Wait: *wait, DisableResync: *noResync},
+			func(ev plusclient.Event) error {
+				if err := enc.Encode(ev); err != nil {
+					return err
+				}
+				switch ev.Type {
+				case plusclient.EventChange:
+					changes++
+					if *maxEvents > 0 && changes >= *maxEvents {
+						return plusclient.ErrStopFollow
+					}
+				case plusclient.EventSync:
+					if !*tail {
+						return plusclient.ErrStopFollow
+					}
+				}
+				return nil
+			})
+		return err
 	case "stats":
 		s, err := c.Stats()
 		if err != nil {
@@ -248,13 +339,19 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 		if err != nil {
 			return err
 		}
-		return printStatus(os.Stdout, h)
+		if err := printStatus(os.Stdout, h); err != nil {
+			return err
+		}
+		return healthzExit(h)
 	case "healthz":
 		h, err := c.Healthz()
 		if err != nil {
 			return err
 		}
-		return printJSON(h)
+		if err := printJSON(h); err != nil {
+			return err
+		}
+		return healthzExit(h)
 	case "export-opm":
 		return c.ExportOPM(os.Stdout)
 	case "import-opm":

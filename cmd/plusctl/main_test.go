@@ -12,6 +12,11 @@ import (
 )
 
 func testClient(t *testing.T) *plus.Client {
+	c, _ := testClientStore(t)
+	return c
+}
+
+func testClientStore(t *testing.T) (*plus.Client, *plus.LogBackend) {
 	t.Helper()
 	dir := t.TempDir()
 	store, err := plus.Open(dir+"/plus.log", plus.Options{})
@@ -24,7 +29,7 @@ func testClient(t *testing.T) *plus.Client {
 	plusql.Attach(s, plusql.NewEngine(store, lat))
 	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
-	return plus.NewClient(srv.URL)
+	return plus.NewClient(srv.URL), store
 }
 
 func TestExecuteWorkflow(t *testing.T) {
@@ -130,6 +135,77 @@ func TestExecuteOPM(t *testing.T) {
 
 func osWriteFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestHealthzExitCodeOnUnavailable is the exit-code regression test: a
+// degraded probe answer (HTTP 503, status "unavailable") must make the
+// healthz and status subcommands fail, not print the payload and exit 0.
+func TestHealthzExitCodeOnUnavailable(t *testing.T) {
+	c, store := testClientStore(t)
+	if err := execute(c, "healthz", nil); err != nil {
+		t.Fatalf("healthy probe failed: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(c, "healthz", nil); err == nil {
+		t.Error("healthz against an unavailable server exited 0")
+	}
+	if err := execute(c, "status", nil); err == nil {
+		t.Error("status against an unavailable server exited 0")
+	}
+}
+
+// TestExecuteBatchAndFollow drives the v2 SDK subcommands: batch ingests
+// a document atomically, follow drains the change feed and exits at the
+// first catch-up.
+func TestExecuteBatchAndFollow(t *testing.T) {
+	c := testClient(t)
+	doc := `{
+		"objects": [
+			{"id": "a", "kind": "data", "name": "a"},
+			{"id": "b", "kind": "data", "name": "b"}
+		],
+		"edges": [{"from": "a", "to": "b", "label": "feeds"}]
+	}`
+	path := t.TempDir() + "/batch.json"
+	if err := osWriteFile(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(c, "batch", []string{"-file", path}); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if o, err := c.GetObject("b"); err != nil || o.Name != "b" {
+		t.Fatalf("batched object = %+v, %v", o, err)
+	}
+
+	// An invalid batch applies nothing and exits non-zero.
+	bad := `{"objects": [{"id": "x", "kind": "data"}], "edges": [{"from": "x", "to": "ghost"}]}`
+	if err := osWriteFile(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(c, "batch", []string{"-file", path}); err == nil {
+		t.Error("invalid batch exited 0")
+	}
+	if _, err := c.GetObject("x"); err == nil {
+		t.Error("invalid batch left partial state")
+	}
+
+	for _, args := range [][]string{
+		{"follow"},
+		{"follow", "-max", "2"},
+		{"follow", "-viewer", "Protected"},
+	} {
+		if err := execute(c, args[0], args[1:]); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	if err := execute(c, "follow", []string{"-viewer", "Nope"}); err == nil {
+		t.Error("unknown follow viewer exited 0")
+	}
+	if err := execute(c, "follow", []string{"-cursor", "garbage"}); err == nil {
+		t.Error("garbage cursor exited 0")
+	}
 }
 
 func TestExecuteErrors(t *testing.T) {

@@ -16,6 +16,14 @@
 // PLUSQL views whose account region it touches; GET /v1/healthz reports
 // the cache and delta counters.
 //
+// Both API versions are served: /v1 (query-string viewer, one record per
+// write) and the principal-scoped /v2 (X-Plus-Viewer header or
+// POST /v2/sessions tokens, POST /v2/batch atomic ingest, the
+// GET /v2/changes durable-cursor change feed with GET /v2/snapshot
+// resync, and POST /v2/query). The Go SDK for /v2 is pkg/plusclient;
+// plusctl's batch and follow subcommands ride on it. The log backend
+// persists its change-feed epoch, so /v2 cursors survive restarts.
+//
 // The lattice file is a JSON array of [dominator, dominated] predicate
 // pairs, e.g. [["High-1","Low-2"],["High-2","Low-2"]]; "Public" is the
 // implicit bottom. Without -lattice the server uses the two-level
@@ -93,10 +101,10 @@ func run() error {
 	} else {
 		srv = plus.NewServer(engine)
 	}
-	// PLUSQL declarative queries: POST /v1/query.
+	// PLUSQL declarative queries: POST /v1/query and POST /v2/query.
 	plusql.Attach(srv, plusql.NewEngine(backend, lat))
-	log.Printf("plusd: serving %s backend on %s (%d objects, %d edges, cache=%v)",
-		*backendKind, *addr, backend.NumObjects(), backend.NumEdges(), *cache)
+	log.Printf("plusd: serving %s backend on %s (%d objects, %d edges, cache=%v, epoch=%s)",
+		*backendKind, *addr, backend.NumObjects(), backend.NumEdges(), *cache, backend.Epoch())
 	return http.ListenAndServe(*addr, srv)
 }
 

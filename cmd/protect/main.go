@@ -5,6 +5,13 @@
 // Usage:
 //
 //	protect -spec graph.json -viewer High-2 [-mode surrogate|hide] [-format table|json|dot|report]
+//	protect -server http://localhost:7337 -viewer High-2 [...]
+//
+// The graph comes from a local JSON spec file (-spec) or from a live
+// plusd server (-server): the remote mode pulls the server's full
+// snapshot and privilege lattice through the v2 SDK (pkg/plusclient) and
+// rebuilds the provider-side spec locally, so stored provenance can be
+// analysed with exactly the same pipeline as spec files.
 //
 // The viewer may be a comma-separated list of predicates, forming a
 // high-water set for consumers holding several incomparable privileges.
@@ -25,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,7 +56,8 @@ type output struct {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("protect", flag.ContinueOnError)
-	specPath := fs.String("spec", "", "path to the JSON graph spec (required)")
+	specPath := fs.String("spec", "", "path to the JSON graph spec")
+	server := fs.String("server", "", "plusd base URL to pull the graph from instead of -spec")
 	viewer := fs.String("viewer", "Public", "consumer privilege-predicate(s), comma-separated for a high-water set")
 	modeName := fs.String("mode", "surrogate", "protection strategy: surrogate or hide")
 	format := fs.String("format", "table", "output format: table, json, dot or report")
@@ -56,16 +65,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	if *specPath == "" {
-		return fmt.Errorf("missing -spec (run with -h for usage)")
-	}
-	data, err := os.ReadFile(*specPath)
+	spec, err := core.LoadSpecSource(context.Background(), *specPath, *server)
 	if err != nil {
 		return err
-	}
-	spec, err := core.ParseSpecJSON(data)
-	if err != nil {
-		return fmt.Errorf("%s: %w", *specPath, err)
 	}
 	var mode core.Mode
 	switch *modeName {

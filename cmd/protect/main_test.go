@@ -1,9 +1,12 @@
 package main
 
 import (
+	"net/http/httptest"
+
 	"bytes"
 	"encoding/json"
 	"os"
+	"repro/internal/plus"
 	"strings"
 	"testing"
 
@@ -194,5 +197,65 @@ func TestBuildSpecDefaultSurrogateLowest(t *testing.T) {
 	}
 	if !res.Account.Graph.HasNode("f'") {
 		t.Error("public-default surrogate not visible to Public")
+	}
+}
+
+// remoteFixtureServer serves the Figure 1 graph from a live plusd-style
+// server so the -server mode can be driven end to end through the SDK.
+func remoteFixtureServer(t *testing.T) string {
+	t.Helper()
+	backend := plus.NewMemBackend(2)
+	t.Cleanup(func() { backend.Close() })
+	srv := httptest.NewServer(plus.NewServer(plus.NewEngine(backend, privilege.FigureOneLattice())))
+	t.Cleanup(srv.Close)
+	_, err := backend.Apply(plus.Batch{
+		Objects: []plus.Object{
+			{ID: "c", Kind: plus.Data, Name: "associate"},
+			{ID: "f", Kind: plus.Data, Name: "gang affiliation", Lowest: "High-1", Protect: "surrogate"},
+			{ID: "g", Kind: plus.Data, Name: "suspect"},
+		},
+		Edges: []plus.Edge{
+			{From: "c", To: "f", Label: "involved-in"},
+			{From: "f", To: "g", Label: "involves"},
+		},
+		Surrogates: []plus.SurrogateSpec{
+			{ForID: "f", ID: "f'", Name: "a trusted source", Lowest: "Low-2", InfoScore: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv.URL
+}
+
+// TestRunProtectRemote pulls the graph from a live server through the v2
+// SDK and expects the same protection pipeline as the spec-file path.
+func TestRunProtectRemote(t *testing.T) {
+	url := remoteFixtureServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-server", url, "-viewer", "High-2", "-format", "table"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "node f'") {
+		t.Errorf("surrogate node missing:\n%s", s)
+	}
+	if strings.Contains(s, "node f\n") {
+		t.Errorf("sensitive node leaked:\n%s", s)
+	}
+	if !strings.Contains(s, "edge c -> g") {
+		t.Errorf("surrogate edge missing:\n%s", s)
+	}
+
+	// Spec and server are mutually exclusive; one of them is required.
+	if err := run([]string{"-server", url, "-spec", "x.json"}, &out); err == nil {
+		t.Error("-spec with -server accepted")
+	}
+	if err := run([]string{"-viewer", "High-2"}, &out); err == nil {
+		t.Error("neither -spec nor -server rejected... accepted")
+	}
+	// A dead server is a transport error, not a silent empty graph.
+	if err := run([]string{"-server", "http://127.0.0.1:1", "-viewer", "High-2"}, &out); err == nil {
+		t.Error("unreachable server accepted")
 	}
 }

@@ -15,9 +15,12 @@
 //	                    maintenance (Maintain) and verification
 //	internal/measure    path/node utility and opacity
 //	internal/plus       the PLUS substrate: pluggable storage backends
-//	                    with a change feed (ChangesSince / DeltaSince),
+//	                    with a change feed (ChangesSince / DeltaSince)
+//	                    and epoch-stamped durable cursors,
 //	                    snapshot-isolated lineage engine, delta-scoped
-//	                    answer cache and HTTP API
+//	                    answer cache and the HTTP API (v1 and the
+//	                    principal-scoped v2 with batch ingest and the
+//	                    resumable change-feed protocol)
 //	internal/plusql     PLUSQL: datalog-style queries over protected
 //	                    lineage (grammar reference in its doc.go);
 //	                    views refresh incrementally from the change feed
@@ -27,7 +30,14 @@
 //	internal/core       high-level facade (builder, Protect, Compare,
 //	                    Provenance)
 //
+// The one public package is pkg/plusclient: the typed, context-first Go
+// SDK for the v2 wire API — principal-scoped sessions, atomic batch
+// ingest, and a change-feed follower with durable cursors and automatic
+// snapshot resync. New integrations should consume the server through it
+// rather than hand-rolled /v1 calls.
+//
 // See README.md for a tour, how to run the plusd server and plusctl
-// client, and the storage-backend options. The benchmarks in
-// bench_test.go regenerate the workload behind each table and figure.
+// client, the v2 endpoint table and cursor semantics, and the
+// storage-backend options. The benchmarks in bench_test.go regenerate
+// the workload behind each table and figure.
 package repro

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -78,15 +79,19 @@ func (p *Provenance) Backend() plus.Backend { return p.backend }
 func (p *Provenance) Lattice() *privilege.Lattice { return p.lattice }
 
 // Lineage answers one lineage query through the invalidating cache.
-func (p *Provenance) Lineage(req plus.Request) (*plus.Result, error) {
-	return p.engine.Lineage(req)
+// Cancellation and deadlines on ctx propagate into the engine's closure
+// walk; the request struct carries the query options.
+func (p *Provenance) Lineage(ctx context.Context, req plus.Request) (*plus.Result, error) {
+	return p.engine.LineageContext(ctx, req)
 }
 
 // Query answers one declarative PLUSQL query (see internal/plusql for the
 // grammar). Results are drawn from the protected account of the current
 // snapshot for opts.Viewer, so they never reveal what policy hides.
-func (p *Provenance) Query(src string, opts plusql.Options) (*plusql.ResultSet, error) {
-	return p.query.Query(src, opts)
+// Cancellation and deadlines on ctx propagate into view materialisation
+// and the executor's join loop.
+func (p *Provenance) Query(ctx context.Context, src string, opts plusql.Options) (*plusql.ResultSet, error) {
+	return p.query.QueryContext(ctx, src, opts)
 }
 
 // Server wires an HTTP API around the service's engine, including the
@@ -115,11 +120,11 @@ func (p *Provenance) CacheStats() CacheStats {
 // ways (hide and surrogate) for the viewer, returning the paper's
 // comparison measures. This is the "what would each strategy cost this
 // consumer" question asked directly of stored provenance.
-func (p *Provenance) CompareLineage(start string, viewer privilege.Predicate) (*Comparison, error) {
+func (p *Provenance) CompareLineage(ctx context.Context, start string, viewer privilege.Predicate) (*Comparison, error) {
 	if viewer == "" {
 		viewer = privilege.Public
 	}
-	res, err := p.engine.Lineage(plus.Request{
+	res, err := p.engine.LineageContext(ctx, plus.Request{
 		Start:     start,
 		Direction: graph.Backward,
 		Viewer:    viewer,

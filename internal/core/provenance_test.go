@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -16,7 +17,7 @@ import (
 func seedProvenance(t *testing.T, p *Provenance) {
 	t.Helper()
 	b := p.Backend()
-	err := b.Apply(plus.Batch{
+	_, err := b.Apply(plus.Batch{
 		Objects: []plus.Object{
 			{ID: "src", Kind: plus.Data, Name: "raw feed"},
 			{ID: "proc", Kind: plus.Invocation, Name: "secret analytic", Lowest: "Protected", Protect: "surrogate"},
@@ -54,7 +55,7 @@ func TestProvenanceFacadeBothBackends(t *testing.T) {
 			defer p.Close()
 			seedProvenance(t, p)
 
-			res, err := p.Lineage(plus.Request{Start: "out", Viewer: privilege.Public})
+			res, err := p.Lineage(context.Background(), plus.Request{Start: "out", Viewer: privilege.Public})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,7 +63,7 @@ func TestProvenanceFacadeBothBackends(t *testing.T) {
 				t.Fatal("empty lineage account")
 			}
 
-			cmp, err := p.CompareLineage("out", privilege.Public)
+			cmp, err := p.CompareLineage(context.Background(), "out", privilege.Public)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -76,10 +77,39 @@ func TestProvenanceFacadeBothBackends(t *testing.T) {
 			if err := p.Close(); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := p.Lineage(plus.Request{Start: "out"}); !errors.Is(err, plus.ErrClosed) {
+			if _, err := p.Lineage(context.Background(), plus.Request{Start: "out"}); !errors.Is(err, plus.ErrClosed) {
 				t.Errorf("lineage after close = %v, want ErrClosed", err)
 			}
 		})
+	}
+}
+
+// TestProvenanceContextCancellation proves deadlines and cancellation
+// reach both query paths through the facade: a pre-cancelled context must
+// fail the lineage walk and the PLUSQL executor instead of running to
+// completion.
+func TestProvenanceContextCancellation(t *testing.T) {
+	p, err := OpenProvenance(ProvenanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	seedProvenance(t, p)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Lineage(ctx, plus.Request{Start: "out"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled lineage = %v, want context.Canceled", err)
+	}
+	if _, err := p.Query(ctx, `node(X)`, plusql.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled query = %v, want context.Canceled", err)
+	}
+	if _, err := p.CompareLineage(ctx, "out", privilege.Public); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled compare = %v, want context.Canceled", err)
+	}
+	// A live context still answers.
+	if _, err := p.Lineage(context.Background(), plus.Request{Start: "out"}); err != nil {
+		t.Errorf("live context lineage: %v", err)
 	}
 }
 
@@ -112,10 +142,10 @@ func TestProvenanceCacheStats(t *testing.T) {
 	seedProvenance(t, p)
 
 	req := plus.Request{Start: "out", Direction: graph.Backward}
-	if _, err := p.Lineage(req); err != nil {
+	if _, err := p.Lineage(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Query(`node(X)`, plusql.Options{}); err != nil {
+	if _, err := p.Query(context.Background(), `node(X)`, plusql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	// Disjoint writes: the lineage entry stays cached, the view advances.
@@ -124,10 +154,10 @@ func TestProvenanceCacheStats(t *testing.T) {
 		if err := p.Backend().PutObject(plus.Object{ID: id, Kind: plus.Data, Name: id}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Lineage(req); err != nil {
+		if _, err := p.Lineage(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Query(`node(X)`, plusql.Options{}); err != nil {
+		if _, err := p.Query(context.Background(), `node(X)`, plusql.Options{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -143,7 +173,7 @@ func TestProvenanceCacheStats(t *testing.T) {
 	if err := p.Backend().PutObject(plus.Object{ID: "src", Kind: plus.Data, Name: "src v2"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Lineage(req); err != nil {
+	if _, err := p.Lineage(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	if st := p.CacheStats(); st.Lineage.DeltaEvictions != 1 {
@@ -162,14 +192,14 @@ func TestProvenanceQuery(t *testing.T) {
 	// Public: the protected analytic's incidences contract, so its
 	// ancestry collapses to a surrogate edge src -> out and "proc" can
 	// never be bound.
-	rs, err := p.Query(`ancestor*(X, "out")`, plusql.Options{})
+	rs, err := p.Query(context.Background(), `ancestor*(X, "out")`, plusql.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rs.Rows) != 1 || rs.Rows[0][0].ID != "src" {
 		t.Errorf("Public ancestors of out = %+v, want [src]", rs.Rows)
 	}
-	rs, err = p.Query(`node(X)`, plusql.Options{})
+	rs, err = p.Query(context.Background(), `node(X)`, plusql.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +210,7 @@ func TestProvenanceQuery(t *testing.T) {
 	}
 
 	// Protected sees the original.
-	rs, err = p.Query(`ancestor*(X, "out"), kind(X, invocation)`, plusql.Options{Viewer: "Protected"})
+	rs, err = p.Query(context.Background(), `ancestor*(X, "out"), kind(X, invocation)`, plusql.Options{Viewer: "Protected"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +219,7 @@ func TestProvenanceQuery(t *testing.T) {
 	}
 
 	// Parse errors surface with positions through the facade.
-	if _, err := p.Query(`nope(X)`, plusql.Options{}); err == nil {
+	if _, err := p.Query(context.Background(), `nope(X)`, plusql.Options{}); err == nil {
 		t.Error("unknown predicate accepted")
 	}
 }

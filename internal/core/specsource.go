@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/account"
+	"repro/pkg/plusclient"
+)
+
+// LoadSpecSource resolves a provider-side account spec from exactly one
+// of a local JSON spec file (the core.SpecFile format) or a live plusd
+// server, pulled through the v2 SDK's snapshot endpoint. Both the
+// protect and audit CLIs share this resolution, so their -spec/-server
+// flags behave identically.
+func LoadSpecSource(ctx context.Context, specPath, serverURL string) (*account.Spec, error) {
+	switch {
+	case specPath != "" && serverURL != "":
+		return nil, fmt.Errorf("core: -spec and -server are mutually exclusive")
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := ParseSpecJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", specPath, err)
+		}
+		return spec, nil
+	case serverURL != "":
+		spec, _, err := plusclient.New(serverURL).Spec(ctx)
+		return spec, err
+	default:
+		return nil, fmt.Errorf("core: missing -spec or -server (run with -h for usage)")
+	}
+}

@@ -24,8 +24,11 @@ type Backend interface {
 	// PutSurrogate stores a surrogate version of an existing object.
 	PutSurrogate(sp SurrogateSpec) error
 	// Apply stores a whole batch with one lock acquisition; validation
-	// failures must leave the backend untouched.
-	Apply(b Batch) error
+	// failures must leave the backend untouched. It returns the revision
+	// after the batch's last record, read while the apply still holds its
+	// locks — the exact change-feed position of this batch, uncontaminated
+	// by concurrent writers (the cursor POST /v2/batch hands back).
+	Apply(b Batch) (uint64, error)
 
 	// GetObject fetches one object by id (ErrNotFound if unknown).
 	GetObject(id string) (Object, error)
@@ -44,6 +47,14 @@ type Backend interface {
 	NumEdges() int
 	// Revision returns a counter that increases with every stored record.
 	Revision() uint64
+	// Epoch identifies the backend's revision numbering. Two calls return
+	// the same value as long as revisions keep meaning the same prefixes
+	// of history: a durable backend keeps its epoch across restarts, a
+	// volatile backend mints a fresh one per instance, and rewriting
+	// history (log compaction) rotates it. Cursors pair a revision with
+	// the epoch it was issued under, so a resumed cursor from another
+	// numbering is detected instead of silently misread.
+	Epoch() string
 	// ChangesSince returns the ordered record deltas applied after
 	// revision since, up to the current revision (one Change per revision
 	// bump, in revision order). Backends may bound how much history they

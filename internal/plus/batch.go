@@ -73,15 +73,16 @@ func (b *Batch) validate(stored func(id string) bool, hasEdge func(from, to stri
 
 // Apply validates the whole batch against the store's current state (plus
 // the batch's own objects), then appends every record with a single
-// buffered write. Validation failures leave the store untouched. A crash
-// mid-write leaves a torn tail that replay truncates, so a batch is
-// atomic-on-recovery only up to the records that fully made it to disk —
-// the same guarantee individual appends give.
-func (s *LogBackend) Apply(b Batch) error {
+// buffered write, returning the revision after the batch's last record.
+// Validation failures leave the store untouched. A crash mid-write leaves
+// a torn tail that replay truncates, so a batch is atomic-on-recovery
+// only up to the records that fully made it to disk — the same guarantee
+// individual appends give.
+func (s *LogBackend) Apply(b Batch) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	err := b.validate(
 		func(id string) bool {
@@ -98,7 +99,7 @@ func (s *LogBackend) Apply(b Batch) error {
 		},
 	)
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	// Encode everything into one buffer, then write once.
@@ -124,36 +125,36 @@ func (s *LogBackend) Apply(b Batch) error {
 	}
 	for _, o := range b.Objects {
 		if err := encode(recObject, o); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	for _, e := range b.Edges {
 		if err := encode(recEdge, e); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	for _, sp := range b.Surrogates {
 		if err := encode(recSurrogate, sp); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	if len(buf) == 0 {
-		return nil
+		return s.revision.Load(), nil
 	}
 	if _, err := s.f.Write(buf); err != nil {
-		return fmt.Errorf("plus: batch write: %w", err)
+		return 0, fmt.Errorf("plus: batch write: %w", err)
 	}
 	if s.sync {
 		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("plus: batch sync: %w", err)
+			return 0, fmt.Errorf("plus: batch sync: %w", err)
 		}
 	}
 	s.size += int64(len(buf))
 	for _, r := range records {
 		if err := s.apply(r.kind, r.body); err != nil {
 			// Unreachable: the same bytes were just validated and encoded.
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	return s.revision.Load(), nil
 }

@@ -1,7 +1,9 @@
 package plus
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -24,7 +26,7 @@ func TestApplyBatch(t *testing.T) {
 	if b.Len() != 6 {
 		t.Errorf("Len = %d", b.Len())
 	}
-	if err := s.Apply(b); err != nil {
+	if _, err := s.Apply(b); err != nil {
 		t.Fatal(err)
 	}
 	if s.NumObjects() != 3 || s.NumEdges() != 2 || len(s.SurrogatesOf("p")) != 1 {
@@ -62,7 +64,7 @@ func TestApplyBatchValidationLeavesStoreUntouched(t *testing.T) {
 		{Surrogates: []SurrogateSpec{{ForID: "x", ID: "x~", InfoScore: 5}}},
 	}
 	for i, b := range bad {
-		if err := s.Apply(b); err == nil {
+		if _, err := s.Apply(b); err == nil {
 			t.Errorf("bad batch %d accepted", i)
 		}
 	}
@@ -78,7 +80,7 @@ func TestApplyBatchIntraBatchReferences(t *testing.T) {
 		Objects: []Object{{ID: "n1", Kind: Data, Name: "1"}, {ID: "n2", Kind: Data, Name: "2"}},
 		Edges:   []Edge{{From: "n1", To: "n2"}},
 	}
-	if err := s.Apply(b); err != nil {
+	if _, err := s.Apply(b); err != nil {
 		t.Fatal(err)
 	}
 	if s.NumEdges() != 1 {
@@ -88,13 +90,61 @@ func TestApplyBatchIntraBatchReferences(t *testing.T) {
 
 func TestApplyEmptyBatchAndClosed(t *testing.T) {
 	s, _ := openTemp(t)
-	if err := s.Apply(Batch{}); err != nil {
+	if _, err := s.Apply(Batch{}); err != nil {
 		t.Errorf("empty batch: %v", err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Apply(Batch{Objects: []Object{{ID: "a", Kind: Data}}}); err == nil || !strings.Contains(err.Error(), "closed") {
+	if _, err := s.Apply(Batch{Objects: []Object{{ID: "a", Kind: Data}}}); err == nil || !strings.Contains(err.Error(), "closed") {
 		t.Errorf("apply on closed store: %v", err)
+	}
+}
+
+// TestApplyReturnsOwnRevision runs concurrent single-record batches and
+// checks each returned revision names that batch's own record — not a
+// later concurrent writer's — so the cursor POST /v2/batch hands back
+// never skips another batch's records.
+func TestApplyReturnsOwnRevision(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		b    Backend
+	}{
+		{"log", func() Backend { s, _ := openTemp(t); return s }()},
+		{"mem", NewMemBackend(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const writers = 16
+			revs := make([]uint64, writers)
+			var wg sync.WaitGroup
+			for i := 0; i < writers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					id := fmt.Sprintf("w%02d", i)
+					rev, err := tc.b.Apply(Batch{Objects: []Object{{ID: id, Kind: Data, Name: id}}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					revs[i] = rev
+				}(i)
+			}
+			wg.Wait()
+			changes, err := tc.b.ChangesSince(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, rev := range revs {
+				id := fmt.Sprintf("w%02d", i)
+				if rev == 0 || rev > uint64(len(changes)) {
+					t.Fatalf("writer %d got revision %d", i, rev)
+				}
+				if c := changes[rev-1]; c.Object.ID != id {
+					t.Errorf("writer %d: revision %d holds %q, want own record %q", i, rev, c.Object.ID, id)
+				}
+			}
+			tc.b.Close()
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package plus
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -113,6 +114,13 @@ func intersects(a, b map[string]bool) bool {
 // account — callers must treat answers as read-only (which they are over
 // HTTP, where each answer is serialised).
 func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
+	return ce.LineageContext(context.Background(), req)
+}
+
+// LineageContext is Lineage with cancellation and deadline propagation
+// into the underlying engine; cache hits ignore the context (they cost
+// one map lookup).
+func (ce *CachedEngine) LineageContext(ctx context.Context, req Request) (*Result, error) {
 	// A closed backend must not keep answering out of the cache.
 	if err := ce.store.Ping(); err != nil {
 		return nil, err
@@ -144,7 +152,7 @@ func (ce *CachedEngine) Lineage(req Request) (*Result, error) {
 	ce.stats.Misses++
 	ce.mu.Unlock()
 
-	res, err := ce.Engine.Lineage(req)
+	res, err := ce.Engine.LineageContext(ctx, req)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,10 @@ func NewClient(base string) *Client {
 	return &Client{base: base, http: &http.Client{}}
 }
 
+// BaseURL reports the server base URL the client targets, so callers can
+// hand the same endpoint to the v2 SDK (pkg/plusclient).
+func (c *Client) BaseURL() string { return c.base }
+
 func (c *Client) post(path string, v interface{}) error {
 	return c.PostJSON(path, v, nil)
 }

@@ -53,6 +53,22 @@ func (s *LogBackend) Compact() error {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+
+	// Compaction renumbers history: replaying the rewritten log yields one
+	// record per live object instead of every superseded version, so old
+	// revision numbers stop naming the same prefixes. Rotate the epoch
+	// (stranded cursors get a 410-resync instead of silently wrong deltas)
+	// and record the replay base so the counter resumes at its current
+	// height — in-process consumers keep their revision-numbered state.
+	live := uint64(len(s.objects))
+	for _, id := range ids {
+		live += uint64(len(s.out[id]) + len(s.surrogates[id]))
+	}
+	nextEpoch := newEpoch()
+	if err := writeRec(recEpoch, epochRecord{Epoch: nextEpoch, Base: s.revision.Load() - live}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("plus: compact: %w", err)
+	}
 	for _, id := range ids {
 		if err := writeRec(recObject, s.objects[id]); err != nil {
 			tmp.Close()
@@ -101,6 +117,16 @@ func (s *LogBackend) Compact() error {
 	// The compacted log holds only live state; drop the in-memory history
 	// so it matches what a reopen would reconstruct.
 	s.history = map[string][]Object{}
+	s.epoch = nextEpoch
+	// Drop the resident change window too: its entries carry pre-compact
+	// revision numbers, which the rewritten log no longer reproduces — a
+	// reopen replays the compacted records into those same revision slots.
+	// Serving them under the new epoch would hand out cursors that resolve
+	// to different records after a restart. With the window rebased to the
+	// current revision, readers behind it get ErrTooFarBehind (HTTP 410)
+	// and rebuild from a snapshot, which is always correct.
+	s.changes = nil
+	s.changesBase = s.revision.Load()
 	return nil
 }
 

@@ -486,7 +486,7 @@ func conformBatch(t *testing.T, h backendHarness) {
 		Edges:      []Edge{{From: "x", To: "y", Label: "input-to"}},
 		Surrogates: []SurrogateSpec{{ForID: "y", ID: "y'", Name: "anon", InfoScore: 0.3}},
 	}
-	if err := b.Apply(batch); err != nil {
+	if _, err := b.Apply(batch); err != nil {
 		t.Fatal(err)
 	}
 	if b.NumObjects() != 2 || b.NumEdges() != 1 {
@@ -502,7 +502,7 @@ func conformBatch(t *testing.T, h backendHarness) {
 		Objects: []Object{{ID: "z", Kind: Data, Name: "z"}},
 		Edges:   []Edge{{From: "z", To: "missing"}},
 	}
-	if err := b.Apply(bad); err == nil {
+	if _, err := b.Apply(bad); err == nil {
 		t.Fatal("bad batch accepted")
 	}
 	if b.Revision() != rev {
@@ -512,7 +512,7 @@ func conformBatch(t *testing.T, h backendHarness) {
 		t.Error("failed batch left partial state")
 	}
 	// Empty batch is a no-op.
-	if err := b.Apply(Batch{}); err != nil {
+	if _, err := b.Apply(Batch{}); err != nil {
 		t.Errorf("empty batch: %v", err)
 	}
 }
@@ -612,7 +612,7 @@ func conformClose(t *testing.T, h backendHarness) {
 	if _, err := b.Snapshot(); !errors.Is(err, ErrClosed) {
 		t.Errorf("snapshot after close = %v", err)
 	}
-	if err := b.Apply(Batch{Objects: []Object{{ID: "y", Kind: Data}}}); !errors.Is(err, ErrClosed) {
+	if _, err := b.Apply(Batch{Objects: []Object{{ID: "y", Kind: Data}}}); !errors.Is(err, ErrClosed) {
 		t.Errorf("batch after close = %v", err)
 	}
 }
@@ -659,7 +659,7 @@ func conformConcurrency(t *testing.T, h backendHarness) {
 // protected-lineage answer must come out of every implementation.
 func conformLineage(t *testing.T, h backendHarness) {
 	b, _ := h.open(t)
-	err := b.Apply(Batch{
+	_, err := b.Apply(Batch{
 		Objects: []Object{
 			{ID: "src", Kind: Data, Name: "raw feed"},
 			{ID: "proc", Kind: Invocation, Name: "secret analytic", Lowest: "Protected", Protect: "surrogate"},

@@ -30,6 +30,10 @@ type MemBackend struct {
 	// across shards). Guarded by holding every shard lock.
 	horizon int
 
+	// epoch is minted per instance: contents die with the process, so a
+	// cursor from an earlier life must be refused, not resumed.
+	epoch string
+
 	revision atomic.Uint64
 	edges    atomic.Int64
 	snap     atomic.Pointer[Snapshot]
@@ -138,6 +142,7 @@ func NewMemBackend(shards int) *MemBackend {
 		shards:  make([]memShard, shards),
 		seed:    maphash.MakeSeed(),
 		horizon: DefaultMemChangeHorizon,
+		epoch:   newEpoch(),
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]
@@ -264,12 +269,12 @@ func (m *MemBackend) PutSurrogate(sp SurrogateSpec) error {
 	return nil
 }
 
-// Apply stores a whole batch under all shard locks: validation failures
-// leave the backend untouched, and readers never observe a half-applied
-// batch.
-func (m *MemBackend) Apply(b Batch) error {
+// Apply stores a whole batch under all shard locks, returning the
+// revision after the batch's last record: validation failures leave the
+// backend untouched, and readers never observe a half-applied batch.
+func (m *MemBackend) Apply(b Batch) (uint64, error) {
 	if m.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	m.lockAll()
 	defer m.unlockAll()
@@ -288,7 +293,7 @@ func (m *MemBackend) Apply(b Batch) error {
 		},
 	)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for _, o := range b.Objects {
 		sh := m.shardFor(o.ID)
@@ -310,7 +315,9 @@ func (m *MemBackend) Apply(b Batch) error {
 		sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
 		sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeSurrogate, Surrogate: sp}, m.horizon)
 	}
-	return nil
+	// All shard locks are still held, so no concurrent writer can have
+	// advanced the counter past this batch's last record.
+	return m.revision.Load(), nil
 }
 
 // GetObject fetches one object by id.
@@ -391,6 +398,10 @@ func (m *MemBackend) NumEdges() int { return int(m.edges.Load()) }
 
 // Revision returns a counter that increases with every stored record.
 func (m *MemBackend) Revision() uint64 { return m.revision.Load() }
+
+// Epoch identifies this instance's revision numbering; volatile backends
+// mint a fresh epoch per construction.
+func (m *MemBackend) Epoch() string { return m.epoch }
 
 // SetChangeHorizon resizes the per-shard change rings (minimum 0, which
 // retains nothing and forces every delta reader to rebuild). Safe to call

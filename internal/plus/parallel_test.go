@@ -1,6 +1,7 @@
 package plus
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -36,7 +37,7 @@ func wideDAG(t testing.TB, b Backend, width int) string {
 	for i := 0; i < width; i++ {
 		batch.Edges = append(batch.Edges, Edge{From: fmt.Sprintf("mid%03d", i), To: "sink", Label: "generated"})
 	}
-	if err := b.Apply(batch); err != nil {
+	if _, err := b.Apply(batch); err != nil {
 		t.Fatal(err)
 	}
 	return "sink"
@@ -64,11 +65,11 @@ func TestParallelFetchMatchesSequential(t *testing.T) {
 				{Start: sink, Direction: graph.Backward, LabelFilter: "generated"},
 				{Start: sink, Direction: graph.Backward, KindFilter: Invocation},
 			} {
-				fs, err := seq.fetch(req)
+				fs, err := seq.fetch(context.Background(), req)
 				if err != nil {
 					t.Fatal(err)
 				}
-				fp, err := par.fetch(req)
+				fp, err := par.fetch(context.Background(), req)
 				if err != nil {
 					t.Fatal(err)
 				}

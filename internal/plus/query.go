@@ -1,6 +1,7 @@
 package plus
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -133,7 +134,10 @@ type expansion struct {
 // and the results are merged in frontier order, so the visit order (and
 // therefore the fetched closure) is identical to the sequential walk.
 // Because the snapshot is immutable, no locks are held at any point.
-func (en *Engine) fetch(req Request) (*fetched, error) {
+//
+// Cancellation is checked once per BFS level: a deep walk over a large
+// store stops within one frontier expansion of the context's deadline.
+func (en *Engine) fetch(ctx context.Context, req Request) (*fetched, error) {
 	sn, err := en.store.Snapshot()
 	if err != nil {
 		return nil, err
@@ -177,6 +181,9 @@ func (en *Engine) fetch(req Request) (*fetched, error) {
 	edgeSeen := map[[2]string]bool{}
 	frontier := []string{req.Start}
 	for depth := 0; len(frontier) > 0 && (req.Depth == 0 || depth < req.Depth); depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, err)
+		}
 		expansions := make([]expansion, len(frontier))
 		if workers := int(en.fetchWorkers.Load()); workers > 1 && len(frontier) >= parallelFrontier {
 			// Worker pool over contiguous chunks of the frontier.
@@ -273,6 +280,14 @@ func buildSpec(lattice *privilege.Lattice, f *fetched) (*account.Spec, error) {
 // Lineage answers one lineage query with a protected account and its cost
 // decomposition.
 func (en *Engine) Lineage(req Request) (*Result, error) {
+	return en.LineageContext(context.Background(), req)
+}
+
+// LineageContext is Lineage with cancellation and deadline propagation:
+// the context is checked at every BFS level of the closure fetch and at
+// each phase boundary, so a cancelled request releases its goroutine
+// instead of finishing a walk nobody is waiting for.
+func (en *Engine) LineageContext(ctx context.Context, req Request) (*Result, error) {
 	t0 := time.Now()
 	if req.Viewer == "" {
 		req.Viewer = privilege.Public
@@ -284,7 +299,7 @@ func (en *Engine) Lineage(req Request) (*Result, error) {
 		return nil, fmt.Errorf("plus: unknown viewer predicate %q", req.Viewer)
 	}
 
-	f, err := en.fetch(req)
+	f, err := en.fetch(ctx, req)
 	tFetch := time.Now()
 	if err != nil {
 		return nil, err
@@ -294,6 +309,9 @@ func (en *Engine) Lineage(req Request) (*Result, error) {
 	tBuild := time.Now()
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, err)
 	}
 
 	var acct *account.Account

@@ -1,23 +1,24 @@
 package plus
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/measure"
 	"repro/internal/privilege"
 )
 
 // lineageAnswerer lets the server run against either a plain Engine or a
-// CachedEngine.
+// CachedEngine; handlers always pass the request context so cancellation
+// propagates into the closure walk.
 type lineageAnswerer interface {
-	Lineage(Request) (*Result, error)
+	LineageContext(context.Context, Request) (*Result, error)
 }
 
 // Server exposes a store and its query engine over HTTP with a small JSON
@@ -38,10 +39,16 @@ type lineageAnswerer interface {
 // unbounded), viewer (predicate nickname, default Public), mode
 // (hide|surrogate, default surrogate), label (edge-label filter), kind
 // (data|invocation traversal filter).
+//
+// The server also mounts the v2 surface (see v2.go): principal-scoped
+// requests, POST /v2/batch, the durable-cursor change feed GET /v2/changes
+// with its GET /v2/snapshot resync payload, POST /v2/sessions,
+// GET /v2/lineage and GET /v2/objects/{id}. /v1 stays for compatibility.
 type Server struct {
 	engine   *Engine
 	answerer lineageAnswerer
 	mux      *http.ServeMux
+	sessions *sessionStore
 
 	// queryStats, when set (SetQueryStats), surfaces the PLUSQL view-cache
 	// counters in the healthz payload without this package importing the
@@ -61,7 +68,7 @@ func NewCachedServer(engine *CachedEngine) *Server {
 }
 
 func newServer(engine *Engine, answerer lineageAnswerer) *Server {
-	s := &Server{engine: engine, answerer: answerer, mux: http.NewServeMux()}
+	s := &Server{engine: engine, answerer: answerer, mux: http.NewServeMux(), sessions: newSessionStore()}
 	s.mux.HandleFunc("/v1/objects", s.handleObjects)
 	s.mux.HandleFunc("/v1/objects/", s.handleObjectByID)
 	s.mux.HandleFunc("/v1/edges", s.handleEdges)
@@ -70,6 +77,12 @@ func newServer(engine *Engine, answerer lineageAnswerer) *Server {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/opm", s.handleOPM)
+	s.mux.HandleFunc("/v2/sessions", s.handleV2Sessions)
+	s.mux.HandleFunc("/v2/batch", s.handleV2Batch)
+	s.mux.HandleFunc("/v2/changes", s.handleV2Changes)
+	s.mux.HandleFunc("/v2/snapshot", s.handleV2Snapshot)
+	s.mux.HandleFunc("/v2/lineage", s.handleV2Lineage)
+	s.mux.HandleFunc("/v2/objects/", s.handleV2ObjectByID)
 	return s
 }
 
@@ -256,78 +269,26 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	start := q.Get("start")
-	if start == "" {
-		writeError(w, fmt.Errorf("plus: missing start parameter"))
-		return
-	}
-	dir, err := parseDirection(q.Get("direction"))
+	req, err := parseLineageParams(q)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	depth := 0
-	if d := q.Get("depth"); d != "" {
-		depth, err = strconv.Atoi(d)
-		if err != nil || depth < 0 {
-			writeError(w, fmt.Errorf("plus: bad depth %q", d))
-			return
-		}
+	req.Viewer = privilege.Predicate(q.Get("viewer"))
+	if req.Viewer != "" && !s.engine.lattice.Known(req.Viewer) {
+		// The engine rejects the request below; the warning gives operators
+		// a trail for clients sending viewers the lattice never declared
+		// (v2 additionally answers these with a structured 400).
+		log.Printf("plus: /v1/lineage: unknown viewer predicate %q from %s", req.Viewer, r.RemoteAddr)
 	}
-	mode := Mode(q.Get("mode"))
-	if mode == "" {
-		mode = ModeSurrogate
-	}
-	if mode != ModeHide && mode != ModeSurrogate {
-		writeError(w, fmt.Errorf("plus: unknown mode %q", mode))
-		return
-	}
-	kind := ObjectKind(q.Get("kind"))
-	if kind != "" && kind != Data && kind != Invocation {
-		writeError(w, fmt.Errorf("plus: unknown kind %q", kind))
-		return
-	}
-	req := Request{
-		Start:       start,
-		Direction:   dir,
-		Depth:       depth,
-		Viewer:      privilege.Predicate(q.Get("viewer")),
-		Mode:        mode,
-		LabelFilter: q.Get("label"),
-		KindFilter:  kind,
-	}
-	res, err := s.answerer.Lineage(req)
+	res, err := s.answerer.LineageContext(r.Context(), req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	resp := LineageResponse{
-		Start:       start,
-		Viewer:      string(req.Viewer),
-		Mode:        string(mode),
-		PathUtility: measure.PathUtility(res.Spec, res.Account),
-		NodeUtility: measure.NodeUtility(res.Spec, res.Account),
-		Timing: LineageTiming{
-			DBAccessUS: res.Timing.DBAccess.Microseconds(),
-			BuildUS:    res.Timing.Build.Microseconds(),
-			ProtectUS:  res.Timing.Protect.Microseconds(),
-			TotalUS:    res.Timing.Total.Microseconds(),
-		},
-	}
-	for _, id := range res.Account.Graph.Nodes() {
-		n, _ := res.Account.Graph.NodeByID(id)
-		_, isSurr := res.Account.SurrogateNodes[id]
-		resp.Nodes = append(resp.Nodes, LineageNode{ID: string(id), Features: n.Features, Surrogate: isSurr})
-	}
-	for _, e := range res.Account.Graph.Edges() {
-		resp.Edges = append(resp.Edges, LineageEdge{
-			From:      string(e.From),
-			To:        string(e.To),
-			Label:     e.Label,
-			Surrogate: res.Account.SurrogateEdges[e.ID()],
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	// v1 echoes the viewer exactly as the query string spelled it (empty
+	// when absent), preserved for compatibility.
+	writeJSON(w, http.StatusOK, buildLineageResponse(req, res))
 }
 
 // handleOPM exports the store as an OPM document (GET) or imports one

@@ -90,7 +90,24 @@ const (
 	recObject    = byte(1)
 	recEdge      = byte(2)
 	recSurrogate = byte(3)
+	// recEpoch stamps the log with its epoch identity (see Backend.Epoch).
+	// It carries no provenance data: applying it never bumps the revision
+	// or enters the change feed. A freshly created log gets one as its
+	// first record; Compact writes a new one (the rewrite renumbers
+	// revisions, so the old epoch's cursors must stop resolving); a legacy
+	// log without one has an epoch appended at open.
+	recEpoch = byte(4)
 )
+
+// epochRecord is the payload of a recEpoch record. Base, when the record
+// heads the log, is the revision the replay counter starts from: a
+// compacted log holds only live records, but in-process consumers hold
+// revision-numbered state, so replay must resume the old numbering's
+// height rather than restart at zero.
+type epochRecord struct {
+	Epoch string `json:"epoch"`
+	Base  uint64 `json:"base,omitempty"`
+}
 
 // ErrNotFound is returned when an object id is unknown.
 var ErrNotFound = errors.New("plus: object not found")
@@ -132,6 +149,11 @@ type LogBackend struct {
 	changes       []Change
 	changesBase   uint64
 	changeHorizon int
+
+	// epoch identifies this log's revision numbering (Backend.Epoch).
+	// Persisted as a recEpoch record, so it survives restarts; rotated by
+	// Compact. Guarded by mu.
+	epoch string
 
 	closed atomic.Bool
 }
@@ -175,6 +197,15 @@ func Open(path string, opts Options) (*LogBackend, error) {
 	if err := s.replay(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if s.epoch == "" {
+		// A new log (or one created before epochs existed): mint and
+		// persist an identity. For a legacy log the record lands at the
+		// tail, which is fine — replay applies it wherever it sits.
+		if err := s.append(recEpoch, epochRecord{Epoch: newEpoch()}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("plus: stamp epoch: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -255,6 +286,23 @@ func readRecord(r io.Reader) ([]byte, int64, error) {
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func (s *LogBackend) apply(kind byte, body []byte) error {
+	if kind == recEpoch {
+		var er epochRecord
+		if err := json.Unmarshal(body, &er); err != nil {
+			return err
+		}
+		if er.Epoch == "" {
+			return fmt.Errorf("plus: epoch record with empty epoch")
+		}
+		s.epoch = er.Epoch
+		// Base only applies at the head of the log (a compacted rewrite);
+		// an epoch record appended mid-history never rewinds the counter.
+		if s.revision.Load() == 0 && er.Base > 0 {
+			s.revision.Store(er.Base)
+			s.changesBase = er.Base
+		}
+		return nil
+	}
 	c := Change{}
 	switch kind {
 	case recObject:
@@ -333,6 +381,14 @@ func (s *LogBackend) ChangeHorizon() int {
 // equal revisions imply identical store contents (within one process).
 func (s *LogBackend) Revision() uint64 {
 	return s.revision.Load()
+}
+
+// Epoch identifies this log's revision numbering; stable across restarts,
+// rotated by Compact.
+func (s *LogBackend) Epoch() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
 }
 
 // ChangesSince returns the records applied after revision since, in

@@ -230,11 +230,20 @@ func TestSyncOptionAndSize(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if s.Size() != 0 {
+	// A fresh store holds no records, but it is stamped with its epoch
+	// identity on creation, so the log is not zero bytes.
+	if s.NumObjects() != 0 || s.Revision() != 0 {
 		t.Error("fresh store should be empty")
 	}
-	putChain(t, s, "a", "b")
 	if s.Size() == 0 {
+		t.Error("fresh store missing its epoch stamp")
+	}
+	if s.Epoch() == "" {
+		t.Error("fresh store has no epoch")
+	}
+	before := s.Size()
+	putChain(t, s, "a", "b")
+	if s.Size() <= before {
 		t.Error("size did not grow")
 	}
 	info, err := os.Stat(path)

@@ -1,0 +1,636 @@
+package plus
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/measure"
+	"repro/internal/privilege"
+)
+
+// This file is the v2 wire API: the principal-scoped redesign of the
+// HTTP surface. Three things distinguish it from /v1:
+//
+//   - Who is asking travels out-of-band. Every request resolves a
+//     principal — a validated privilege-predicate — from the
+//     X-Plus-Viewer header or an X-Plus-Session token minted by
+//     POST /v2/sessions, never from a loose query parameter. An unknown
+//     predicate is a 400 with a structured error body, not a silent
+//     Public fallback.
+//   - Writes batch. POST /v2/batch ingests objects, edges and surrogates
+//     in one atomic revision window (Backend.Apply), amortising
+//     per-request overhead on write-heavy workloads.
+//   - Reads resume. GET /v2/changes streams the change feed as NDJSON
+//     with opaque durable cursors (revision + backend epoch); a consumer
+//     that fell past the retained window gets a typed 410 with a resync
+//     hint pointing at GET /v2/snapshot.
+//
+// Errors carry a machine-readable code alongside the human message:
+//
+//	{"error": "...", "code": "unknown_viewer", ...}
+//
+// Trust model: the surface splits into consumer endpoints — lineage,
+// query, object fetch — whose answers are protected for the resolved
+// principal, and provider/replication endpoints — batch, changes,
+// snapshot (and v1's OPM export) — which carry raw records, since a
+// replica must hold the full graph to serve its own viewers. plusd has
+// no authentication anywhere (principals are client-asserted and checked
+// only for validity), so like the rest of the daemon the provider
+// endpoints trust the network they listen on; deploy behind the same
+// boundary that guards writes. Real authn is a ROADMAP item.
+//
+// /v1 remains mounted unchanged for compatibility.
+
+// v2 principal headers.
+const (
+	// HeaderViewer carries the caller's privilege-predicate nickname.
+	HeaderViewer = "X-Plus-Viewer"
+	// HeaderSession carries a token minted by POST /v2/sessions.
+	HeaderSession = "X-Plus-Session"
+)
+
+// Error codes of the v2 structured error body.
+const (
+	CodeBadRequest     = "bad_request"
+	CodeUnknownViewer  = "unknown_viewer"
+	CodeUnknownSession = "unknown_session"
+	CodeViewerConflict = "viewer_conflict"
+	CodeNotFound       = "not_found"
+	CodeForbidden      = "forbidden"
+	CodeBadCursor      = "bad_cursor"
+	CodeTooFarBehind   = "too_far_behind"
+	CodeUnavailable    = "unavailable"
+	CodeInternal       = "internal"
+)
+
+// APIError is the v2 structured error body. Status is the HTTP status it
+// is served with (not serialised; the status line carries it).
+type APIError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"error"`
+	// ResyncCursor and ResyncURL accompany too_far_behind: the cursor of
+	// the present and where to fetch a full snapshot to rebase onto.
+	ResyncCursor string `json:"resyncCursor,omitempty"`
+	ResyncURL    string `json:"resyncURL,omitempty"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string { return e.Message }
+
+// v2Errorf builds an APIError.
+func v2Errorf(status int, code, format string, args ...interface{}) *APIError {
+	return &APIError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WriteAPIError serves a v2 structured error. Extension subsystems
+// (PLUSQL's /v2/query) share it so every v2 endpoint fails identically.
+func WriteAPIError(w http.ResponseWriter, e *APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+// v2StoreError maps a storage/engine error onto the structured body.
+func v2StoreError(err error) *APIError {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return v2Errorf(http.StatusNotFound, CodeNotFound, "%s", err)
+	case errors.Is(err, ErrClosed):
+		return v2Errorf(http.StatusServiceUnavailable, CodeUnavailable, "%s", err)
+	default:
+		return v2Errorf(http.StatusBadRequest, CodeBadRequest, "%s", err)
+	}
+}
+
+// maxSessions bounds the session table: creation is unauthenticated, so
+// without a cap a request loop could grow server memory without limit.
+// At the cap the oldest session is evicted (its holder re-establishes on
+// the next 401), which suits the table's role as a convenience cache of
+// validated viewers rather than durable credentials.
+const maxSessions = 8192
+
+// sessionStore is the in-memory table behind POST /v2/sessions: token ->
+// validated viewer predicate. Tokens are capability-style random strings;
+// contents die with the process (clients re-establish on reconnect, like
+// any bearer session). Bounded FIFO: see maxSessions.
+type sessionStore struct {
+	mu      sync.RWMutex
+	byToken map[string]privilege.Predicate
+	order   []string // creation order, oldest first
+}
+
+func newSessionStore() *sessionStore {
+	return &sessionStore{byToken: map[string]privilege.Predicate{}}
+}
+
+func (st *sessionStore) create(viewer privilege.Predicate) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("plus: session entropy unavailable: %v", err))
+	}
+	token := hex.EncodeToString(b[:])
+	st.mu.Lock()
+	for len(st.byToken) >= maxSessions && len(st.order) > 0 {
+		delete(st.byToken, st.order[0])
+		st.order = st.order[1:]
+	}
+	st.byToken[token] = viewer
+	st.order = append(st.order, token)
+	st.mu.Unlock()
+	return token
+}
+
+func (st *sessionStore) lookup(token string) (privilege.Predicate, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.byToken[token]
+	return v, ok
+}
+
+// Principal resolves the privilege-predicate a v2 request acts as: the
+// session token's bound viewer, or the validated X-Plus-Viewer header, or
+// Public when neither is present. It never falls back silently: an
+// unknown session is a 401, an unknown predicate a 400, and a header
+// contradicting the session a 400.
+func (s *Server) Principal(r *http.Request) (privilege.Predicate, *APIError) {
+	token := r.Header.Get(HeaderSession)
+	header := privilege.Predicate(r.Header.Get(HeaderViewer))
+	if token != "" {
+		viewer, ok := s.sessions.lookup(token)
+		if !ok {
+			return "", v2Errorf(http.StatusUnauthorized, CodeUnknownSession, "plus: unknown session token")
+		}
+		if header != "" && header != viewer {
+			return "", v2Errorf(http.StatusBadRequest, CodeViewerConflict,
+				"plus: %s %q contradicts the session's viewer %q", HeaderViewer, header, viewer)
+		}
+		return viewer, nil
+	}
+	if header != "" {
+		if !s.engine.lattice.Known(header) {
+			return "", v2Errorf(http.StatusBadRequest, CodeUnknownViewer,
+				"plus: unknown viewer predicate %q", header)
+		}
+		return header, nil
+	}
+	return privilege.Public, nil
+}
+
+// SessionRequest is the body of POST /v2/sessions.
+type SessionRequest struct {
+	// Viewer is the privilege-predicate the session acts as; empty means
+	// Public.
+	Viewer string `json:"viewer,omitempty"`
+}
+
+// SessionResponse is the answer to POST /v2/sessions.
+type SessionResponse struct {
+	Token  string `json:"token"`
+	Viewer string `json:"viewer"`
+}
+
+func (s *Server) handleV2Sessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req SessionRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "%s", err))
+		return
+	}
+	viewer := privilege.Predicate(req.Viewer)
+	if viewer == "" {
+		viewer = privilege.Public
+	}
+	if !s.engine.lattice.Known(viewer) {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeUnknownViewer,
+			"plus: unknown viewer predicate %q", viewer))
+		return
+	}
+	writeJSON(w, http.StatusCreated, SessionResponse{
+		Token:  s.sessions.create(viewer),
+		Viewer: string(viewer),
+	})
+}
+
+// BatchRequest is the body of POST /v2/batch: a whole ingest unit applied
+// atomically under one revision window. Objects are applied before edges
+// and surrogates, so intra-batch references work.
+type BatchRequest struct {
+	Objects    []Object        `json:"objects,omitempty"`
+	Edges      []Edge          `json:"edges,omitempty"`
+	Surrogates []SurrogateSpec `json:"surrogates,omitempty"`
+}
+
+// BatchResponse reports the applied batch: the backend revision after the
+// apply and the change-feed cursor positioned at it.
+type BatchResponse struct {
+	Revision   uint64 `json:"revision"`
+	Cursor     string `json:"cursor"`
+	Objects    int    `json:"objects"`
+	Edges      int    `json:"edges"`
+	Surrogates int    `json:"surrogates"`
+}
+
+// maxBatchBytes bounds POST /v2/batch bodies; bulk ingest units are
+// allowed to be big, but not unbounded.
+const maxBatchBytes = 64 << 20
+
+func (s *Server) handleV2Batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if _, apiErr := s.Principal(r); apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
+	var req BatchRequest
+	if err := DecodeJSONBody(w, r, maxBatchBytes, &req); err != nil {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "%s", err))
+		return
+	}
+	b := Batch{Objects: req.Objects, Edges: req.Edges, Surrogates: req.Surrogates}
+	// Apply reports the revision of the batch's own last record (read
+	// under its locks), so the returned cursor never skips a concurrent
+	// writer's records.
+	rev, err := s.engine.store.Apply(b)
+	if err != nil {
+		WriteAPIError(w, v2StoreError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Revision:   rev,
+		Cursor:     Cursor{Epoch: s.engine.store.Epoch(), Rev: rev}.Encode(),
+		Objects:    len(req.Objects),
+		Edges:      len(req.Edges),
+		Surrogates: len(req.Surrogates),
+	})
+}
+
+func (s *Server) handleV2ObjectByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	viewer, apiErr := s.Principal(r)
+	if apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v2/objects/")
+	o, err := s.engine.store.GetObject(id)
+	if err != nil {
+		WriteAPIError(w, v2StoreError(err))
+		return
+	}
+	// Principal-scoped fetch: a record above the caller's privilege is
+	// refused, not served. (v1 leaves this to the lineage layer; the v2
+	// point read enforces it directly.)
+	if o.Lowest != "" && !s.engine.lattice.Dominates(viewer, privilege.Predicate(o.Lowest)) {
+		WriteAPIError(w, v2Errorf(http.StatusForbidden, CodeForbidden,
+			"plus: object %q requires privilege %q", id, o.Lowest))
+		return
+	}
+	writeJSON(w, http.StatusOK, o)
+}
+
+func (s *Server) handleV2Lineage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	viewer, apiErr := s.Principal(r)
+	if apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("viewer") != "" {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest,
+			"plus: v2 carries the viewer in the %s header or a session, not a query parameter", HeaderViewer))
+		return
+	}
+	req, err := parseLineageParams(q)
+	if err != nil {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "%s", err))
+		return
+	}
+	req.Viewer = viewer
+	res, err := s.answerer.LineageContext(r.Context(), req)
+	if err != nil {
+		WriteAPIError(w, v2StoreError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, buildLineageResponse(req, res))
+}
+
+// SnapshotResponse is the answer to GET /v2/snapshot: the full store at
+// one revision, with the cursor to resume the change feed from and the
+// privilege lattice the records' nicknames refer to. This is the resync
+// payload a consumer rebases onto after a 410, and enough for a client to
+// reconstruct a local replica (see pkg/plusclient).
+type SnapshotResponse struct {
+	Cursor     string          `json:"cursor"`
+	Revision   uint64          `json:"revision"`
+	Epoch      string          `json:"epoch"`
+	Lattice    [][2]string     `json:"lattice,omitempty"`
+	Objects    []Object        `json:"objects"`
+	Edges      []Edge          `json:"edges"`
+	Surrogates []SurrogateSpec `json:"surrogates"`
+}
+
+func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if _, apiErr := s.Principal(r); apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
+	sn, err := s.engine.store.Snapshot()
+	if err != nil {
+		WriteAPIError(w, v2StoreError(err))
+		return
+	}
+	resp := SnapshotResponse{
+		Cursor:   Cursor{Epoch: s.engine.store.Epoch(), Rev: sn.Revision()}.Encode(),
+		Revision: sn.Revision(),
+		Epoch:    s.engine.store.Epoch(),
+		Lattice:  s.engine.lattice.Pairs(),
+		Objects:  sn.Objects(),
+	}
+	sort.Slice(resp.Objects, func(i, j int) bool { return resp.Objects[i].ID < resp.Objects[j].ID })
+	for _, o := range resp.Objects {
+		resp.Edges = append(resp.Edges, sn.Out(o.ID)...)
+		resp.Surrogates = append(resp.Surrogates, sn.Surrogates(o.ID)...)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ChangeEvent is one NDJSON line of GET /v2/changes.
+type ChangeEvent struct {
+	// Type is "change" (one applied record; Cursor resumes after it) or
+	// "sync" (the consumer is caught up to Cursor; no record attached).
+	Type   string `json:"type"`
+	Cursor string `json:"cursor"`
+	Rev    uint64 `json:"rev,omitempty"`
+	// Kind selects which record field is set on a change event:
+	// "object", "edge" or "surrogate".
+	Kind      string         `json:"kind,omitempty"`
+	Object    *Object        `json:"object,omitempty"`
+	Edge      *Edge          `json:"edge,omitempty"`
+	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
+}
+
+// changeEvent renders one feed record as its wire event.
+func changeEvent(c Change, epoch string) ChangeEvent {
+	ev := ChangeEvent{
+		Type:   "change",
+		Cursor: Cursor{Epoch: epoch, Rev: c.Rev}.Encode(),
+		Rev:    c.Rev,
+	}
+	switch c.Kind {
+	case ChangeObject:
+		o := c.Object
+		ev.Kind, ev.Object = "object", &o
+	case ChangeEdge:
+		e := c.Edge
+		ev.Kind, ev.Edge = "edge", &e
+	case ChangeSurrogate:
+		sp := c.Surrogate
+		ev.Kind, ev.Surrogate = "surrogate", &sp
+	}
+	return ev
+}
+
+// changePollInterval is how often a long-polling /v2/changes handler
+// re-checks the revision while waiting for new writes.
+const changePollInterval = 20 * time.Millisecond
+
+// maxChangeWait caps the wait parameter so handlers cannot be parked
+// indefinitely; clients reconnect (cheaply, with a cursor) to keep
+// following.
+const maxChangeWait = 30 * time.Second
+
+// v2ResyncError builds the typed 410: the consumer's position no longer
+// resolves (aged past the retained window, or an epoch from a previous
+// life of the store), so it must rebase onto a snapshot.
+func (s *Server) v2ResyncError(why string) *APIError {
+	e := v2Errorf(http.StatusGone, CodeTooFarBehind, "plus: %s; resync from a snapshot", why)
+	e.ResyncCursor = Cursor{Epoch: s.engine.store.Epoch(), Rev: s.engine.store.Revision()}.Encode()
+	e.ResyncURL = "/v2/snapshot"
+	return e
+}
+
+// handleV2Changes streams the change feed as NDJSON. Query parameters:
+//
+//	cursor  resume position (a token from a previous event, batch response
+//	        or snapshot); absent means from the beginning of history
+//	limit   stop after this many change events (0 = unbounded)
+//	wait    long-poll budget, e.g. "5s" or "1500ms": after catching up,
+//	        hold the stream open this long waiting for more writes
+//
+// Every change event carries the cursor that resumes *after* it, so a
+// consumer that persists the last cursor it applied gets exactly-once
+// delivery across disconnects and server restarts (durable backends).
+func (s *Server) handleV2Changes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if _, apiErr := s.Principal(r); apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
+	q := r.URL.Query()
+	epoch := s.engine.store.Epoch()
+	cur := Cursor{Epoch: epoch, Rev: 0}
+	if cstr := q.Get("cursor"); cstr != "" {
+		var err error
+		cur, err = DecodeCursor(cstr)
+		if err != nil {
+			WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadCursor, "%s", err))
+			return
+		}
+	}
+	limit := 0
+	if lstr := q.Get("limit"); lstr != "" {
+		n, err := strconv.Atoi(lstr)
+		if err != nil || n < 0 {
+			WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "plus: bad limit %q", lstr))
+			return
+		}
+		limit = n
+	}
+	var wait time.Duration
+	if wstr := q.Get("wait"); wstr != "" {
+		d, err := time.ParseDuration(wstr)
+		if err != nil || d < 0 {
+			WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "plus: bad wait %q", wstr))
+			return
+		}
+		if d > maxChangeWait {
+			d = maxChangeWait
+		}
+		wait = d
+	}
+
+	if cur.Epoch != epoch {
+		WriteAPIError(w, s.v2ResyncError(fmt.Sprintf("cursor epoch %q is not the store's %q", cur.Epoch, epoch)))
+		return
+	}
+	// Probe before committing to a 200: a cursor past the retained window
+	// (or from a diverged, e.g. crash-truncated, history) must fail the
+	// whole request with a typed 410, not mid-stream.
+	changes, err := s.engine.store.ChangesSince(cur.Rev)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrTooFarBehind):
+			WriteAPIError(w, s.v2ResyncError(fmt.Sprintf("revision %d aged out of the retained change window", cur.Rev)))
+		case errors.Is(err, ErrClosed):
+			WriteAPIError(w, v2Errorf(http.StatusServiceUnavailable, CodeUnavailable, "%s", err))
+		default:
+			// A future revision: the history this cursor saw no longer
+			// exists (e.g. a torn tail was truncated by crash recovery).
+			WriteAPIError(w, s.v2ResyncError(fmt.Sprintf("revision %d is beyond the store's history", cur.Rev)))
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+
+	emitted := 0
+	deadline := time.Now().Add(wait)
+	wroteSync := false
+	for {
+		for _, c := range changes {
+			_ = enc.Encode(changeEvent(c, epoch))
+			cur.Rev = c.Rev
+			emitted++
+			wroteSync = false
+			if limit > 0 && emitted >= limit {
+				flush()
+				return
+			}
+		}
+		if !wroteSync {
+			_ = enc.Encode(ChangeEvent{Type: "sync", Cursor: cur.Encode(), Rev: cur.Rev})
+			wroteSync = true
+		}
+		flush()
+		// Caught up: long-poll for more writes within the wait budget.
+		for {
+			if wait <= 0 || time.Now().After(deadline) || r.Context().Err() != nil {
+				return
+			}
+			if s.engine.store.Revision() > cur.Rev {
+				break
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(changePollInterval):
+			}
+		}
+		changes, err = s.engine.store.ChangesSince(cur.Rev)
+		if err != nil {
+			// Mid-stream loss (horizon overtaken while waiting): end the
+			// stream; the client reconnects with its cursor and receives
+			// the typed 410 through the pre-stream probe.
+			return
+		}
+	}
+}
+
+// parseLineageParams decodes the shared lineage query parameters (start,
+// direction, depth, mode, label, kind) used by both API versions. The
+// viewer is NOT parsed here: v1 reads it from the query string, v2 from
+// the request principal.
+func parseLineageParams(q interface{ Get(string) string }) (Request, error) {
+	start := q.Get("start")
+	if start == "" {
+		return Request{}, fmt.Errorf("plus: missing start parameter")
+	}
+	dir, err := parseDirection(q.Get("direction"))
+	if err != nil {
+		return Request{}, err
+	}
+	depth := 0
+	if d := q.Get("depth"); d != "" {
+		depth, err = strconv.Atoi(d)
+		if err != nil || depth < 0 {
+			return Request{}, fmt.Errorf("plus: bad depth %q", d)
+		}
+	}
+	mode := Mode(q.Get("mode"))
+	if mode == "" {
+		mode = ModeSurrogate
+	}
+	if mode != ModeHide && mode != ModeSurrogate {
+		return Request{}, fmt.Errorf("plus: unknown mode %q", mode)
+	}
+	kind := ObjectKind(q.Get("kind"))
+	if kind != "" && kind != Data && kind != Invocation {
+		return Request{}, fmt.Errorf("plus: unknown kind %q", kind)
+	}
+	return Request{
+		Start:       start,
+		Direction:   dir,
+		Depth:       depth,
+		Mode:        mode,
+		LabelFilter: q.Get("label"),
+		KindFilter:  kind,
+	}, nil
+}
+
+// buildLineageResponse renders a protected lineage answer as the wire
+// response shared by both API versions.
+func buildLineageResponse(req Request, res *Result) LineageResponse {
+	resp := LineageResponse{
+		Start:       req.Start,
+		Viewer:      string(req.Viewer),
+		Mode:        string(req.Mode),
+		PathUtility: measure.PathUtility(res.Spec, res.Account),
+		NodeUtility: measure.NodeUtility(res.Spec, res.Account),
+		Timing: LineageTiming{
+			DBAccessUS: res.Timing.DBAccess.Microseconds(),
+			BuildUS:    res.Timing.Build.Microseconds(),
+			ProtectUS:  res.Timing.Protect.Microseconds(),
+			TotalUS:    res.Timing.Total.Microseconds(),
+		},
+	}
+	for _, id := range res.Account.Graph.Nodes() {
+		n, _ := res.Account.Graph.NodeByID(id)
+		_, isSurr := res.Account.SurrogateNodes[id]
+		resp.Nodes = append(resp.Nodes, LineageNode{ID: string(id), Features: n.Features, Surrogate: isSurr})
+	}
+	for _, e := range res.Account.Graph.Edges() {
+		resp.Edges = append(resp.Edges, LineageEdge{
+			From:      string(e.From),
+			To:        string(e.To),
+			Label:     e.Label,
+			Surrogate: res.Account.SurrogateEdges[e.ID()],
+		})
+	}
+	return resp
+}

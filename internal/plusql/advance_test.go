@@ -100,7 +100,7 @@ func advanceParity(t *testing.T, b plus.Backend, mode plus.Mode) {
 		Edges:      []plus.Edge{{From: "b", To: "n1", Label: "input-to"}, {From: "n1", To: "n2", Label: "input-to"}},
 		Surrogates: []plus.SurrogateSpec{{ForID: "n2", ID: "n2~", Name: "anon", InfoScore: 0.4}},
 	}
-	if err := b.Apply(batch); err != nil {
+	if _, err := b.Apply(batch); err != nil {
 		t.Fatal(err)
 	}
 	check("batch with protected node")
@@ -233,7 +233,7 @@ func TestEngineAdvanceConcurrent(t *testing.T) {
 				Objects: []plus.Object{{ID: id, Kind: plus.Data, Name: id}},
 				Edges:   []plus.Edge{{From: "b", To: id, Label: "input-to"}},
 			}
-			if err := b.Apply(batch); err != nil {
+			if _, err := b.Apply(batch); err != nil {
 				t.Error(err)
 				return
 			}

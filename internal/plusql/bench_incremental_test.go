@@ -25,7 +25,7 @@ func mixedWorkloadBackend(tb testing.TB, n int) plus.Backend {
 		if batch.Len() == 0 {
 			return
 		}
-		if err := b.Apply(batch); err != nil {
+		if _, err := b.Apply(batch); err != nil {
 			tb.Fatal(err)
 		}
 		batch = plus.Batch{}
@@ -82,7 +82,7 @@ func runMixedWorkload(tb testing.TB, b plus.Backend, e *Engine, iters, queriesPe
 			batch.Surrogates = []plus.SurrogateSpec{{ForID: id, ID: id + "~", Name: "anon", InfoScore: 0.5}}
 		}
 		batch.Edges = []plus.Edge{{From: fmt.Sprintf("n%d", rng.Intn(n)), To: id, Label: "input-to"}}
-		if err := b.Apply(batch); err != nil {
+		if _, err := b.Apply(batch); err != nil {
 			tb.Fatal(err)
 		}
 		for q := 0; q < queriesPerWrite; q++ {

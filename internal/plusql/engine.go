@@ -1,6 +1,7 @@
 package plusql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -213,15 +214,27 @@ func (e *Engine) newestCached() uint64 {
 
 // Query parses, plans and executes one PLUSQL query.
 func (e *Engine) Query(src string, opts Options) (*ResultSet, error) {
+	return e.QueryContext(context.Background(), src, opts)
+}
+
+// QueryContext is Query with cancellation and deadline propagation: the
+// context is checked before the (possibly expensive) protected-view
+// materialisation and periodically inside the executor's join loop.
+func (e *Engine) QueryContext(ctx context.Context, src string, opts Options) (*ResultSet, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(q, opts)
+	return e.RunContext(ctx, q, opts)
 }
 
 // Run plans and executes an already-parsed query.
 func (e *Engine) Run(q *Query, opts Options) (*ResultSet, error) {
+	return e.RunContext(context.Background(), q, opts)
+}
+
+// RunContext is Run with cancellation; see QueryContext.
+func (e *Engine) RunContext(ctx context.Context, q *Query, opts Options) (*ResultSet, error) {
 	viewer := opts.Viewer
 	if viewer == "" {
 		viewer = privilege.Public
@@ -236,6 +249,9 @@ func (e *Engine) Run(q *Query, opts Options) (*ResultSet, error) {
 	if !e.lattice.Known(viewer) {
 		return nil, clientError{fmt.Errorf("plusql: unknown viewer predicate %q", viewer)}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plusql: %w", err)
+	}
 	v, err := e.view(viewer, mode)
 	if err != nil {
 		return nil, err
@@ -244,7 +260,7 @@ func (e *Engine) Run(q *Query, opts Options) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, err := run(plan, v, opts.MaxRows)
+	rs, err := run(ctx, plan, v, opts.MaxRows)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package plusql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -58,11 +59,17 @@ func (ex *exec) term(t Term) graph.NodeID {
 	return ex.binding[ex.p.slotOf[t.Text]]
 }
 
+// ctxCheckStride is how many backtracking-loop iterations run between
+// context checks: frequent enough that a cancelled query stops in
+// microseconds, rare enough that the check never shows in profiles.
+const ctxCheckStride = 1 << 12
+
 // run evaluates a compiled plan against a view with a pull-based
 // backtracking join: each step holds a cursor of candidate extensions
 // computed from the binding prefix above it, and rows are produced one at
-// a time so limits short-circuit all upstream enumeration.
-func run(p *Plan, v *View, maxRows int) (*ResultSet, error) {
+// a time so limits short-circuit all upstream enumeration. The context is
+// checked every ctxCheckStride iterations.
+func run(ctx context.Context, p *Plan, v *View, maxRows int) (*ResultSet, error) {
 	rs := &ResultSet{Vars: make([]string, len(p.Proj))}
 	for i, s := range p.Proj {
 		rs.Vars[i] = p.Vars[s]
@@ -108,9 +115,15 @@ func run(p *Plan, v *View, maxRows int) (*ResultSet, error) {
 			return nil, err
 		}
 		cursors[0] = c
+		var steps uint
 		for depth >= 0 {
 			if limit > 0 && ex.stats.Rows >= limit {
 				break
+			}
+			if steps++; steps%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("plusql: %w", err)
+				}
 			}
 			if !cursors[depth].next() {
 				cursors[depth].unbind()

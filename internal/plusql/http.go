@@ -62,65 +62,115 @@ func NewHandler(e *Engine) http.Handler {
 			writeQueryError(w, http.StatusBadRequest, err)
 			return
 		}
-		if req.Query == "" {
-			writeQueryError(w, http.StatusBadRequest, fmt.Errorf("plusql: empty query"))
-			return
-		}
-		limit := req.Limit
-		if limit <= 0 || limit > serverMaxRows {
-			limit = serverMaxRows
-		}
-		t0 := time.Now()
-		// Ask for one row beyond the cap so a full page is
-		// distinguishable from a truncated one.
-		rs, err := e.Query(req.Query, Options{
-			Viewer:  privilege.Predicate(req.Viewer),
-			Mode:    plus.Mode(req.Mode),
-			MaxRows: limit + 1,
-			Explain: req.Explain,
-		})
-		if err != nil {
-			// Request faults are 400; backend/materialisation faults are
-			// the server's problem.
-			status := http.StatusInternalServerError
-			switch {
-			case IsClientError(err):
-				status = http.StatusBadRequest
-			case errors.Is(err, plus.ErrClosed):
-				status = http.StatusServiceUnavailable
-			}
-			writeQueryError(w, status, err)
-			return
-		}
-		viewer := req.Viewer
-		if viewer == "" {
-			viewer = string(privilege.Public)
-		}
-		mode := req.Mode
-		if mode == "" {
-			mode = string(plus.ModeSurrogate)
-		}
-		truncated := false
-		if len(rs.Rows) > limit {
-			rs.Rows = rs.Rows[:limit]
-			rs.Stats.Rows = limit
-			truncated = true
-		}
-		resp := QueryResponse{
-			Query:     req.Query,
-			Viewer:    viewer,
-			Mode:      mode,
-			Vars:      rs.Vars,
-			Rows:      rs.Rows,
-			Truncated: truncated,
-			Plan:      rs.Plan,
-			Stats:     rs.Stats,
-			TookUS:    time.Since(t0).Microseconds(),
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		_ = json.NewEncoder(w).Encode(resp)
+		serveQuery(w, r, e, req, privilege.Predicate(req.Viewer), nil)
 	})
+}
+
+// NewV2Handler serves PLUSQL as POST /v2/query: the same request body
+// minus the viewer, which travels as the request principal (X-Plus-Viewer
+// header or session token) and is validated by the plus server. Errors
+// use the v2 structured body.
+func NewV2Handler(s *plus.Server, e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			plus.MethodNotAllowed(w, http.MethodPost)
+			return
+		}
+		viewer, apiErr := s.Principal(r)
+		if apiErr != nil {
+			plus.WriteAPIError(w, apiErr)
+			return
+		}
+		var req QueryRequest
+		if err := plus.DecodeJSONBody(w, r, maxQueryBytes, &req); err != nil {
+			plus.WriteAPIError(w, &plus.APIError{
+				Status: http.StatusBadRequest, Code: plus.CodeBadRequest, Message: err.Error()})
+			return
+		}
+		if req.Viewer != "" {
+			plus.WriteAPIError(w, &plus.APIError{
+				Status: http.StatusBadRequest, Code: plus.CodeBadRequest,
+				Message: "plusql: v2 carries the viewer in the " + plus.HeaderViewer + " header or a session, not the request body"})
+			return
+		}
+		serveQuery(w, r, e, req, viewer, func(status int, err error) {
+			code := plus.CodeBadRequest
+			switch status {
+			case http.StatusInternalServerError:
+				code = plus.CodeInternal
+			case http.StatusServiceUnavailable:
+				code = plus.CodeUnavailable
+			}
+			plus.WriteAPIError(w, &plus.APIError{Status: status, Code: code, Message: err.Error()})
+		})
+	})
+}
+
+// serveQuery runs one decoded query request for an already-resolved
+// viewer and writes the response; writeErr overrides the error rendering
+// (nil means the v1 {"error": ...} body).
+func serveQuery(w http.ResponseWriter, r *http.Request, e *Engine, req QueryRequest, viewer privilege.Predicate, writeErr func(int, error)) {
+	if writeErr == nil {
+		writeErr = func(status int, err error) { writeQueryError(w, status, err) }
+	}
+	if req.Query == "" {
+		writeErr(http.StatusBadRequest, fmt.Errorf("plusql: empty query"))
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > serverMaxRows {
+		limit = serverMaxRows
+	}
+	t0 := time.Now()
+	// Ask for one row beyond the cap so a full page is
+	// distinguishable from a truncated one.
+	rs, err := e.QueryContext(r.Context(), req.Query, Options{
+		Viewer:  viewer,
+		Mode:    plus.Mode(req.Mode),
+		MaxRows: limit + 1,
+		Explain: req.Explain,
+	})
+	if err != nil {
+		// Request faults are 400; backend/materialisation faults are
+		// the server's problem.
+		status := http.StatusInternalServerError
+		switch {
+		case IsClientError(err):
+			status = http.StatusBadRequest
+		case errors.Is(err, plus.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(status, err)
+		return
+	}
+	respViewer := string(viewer)
+	if respViewer == "" {
+		respViewer = string(privilege.Public)
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = string(plus.ModeSurrogate)
+	}
+	truncated := false
+	if len(rs.Rows) > limit {
+		rs.Rows = rs.Rows[:limit]
+		rs.Stats.Rows = limit
+		truncated = true
+	}
+	resp := QueryResponse{
+		Query:     req.Query,
+		Viewer:    respViewer,
+		Mode:      mode,
+		Vars:      rs.Vars,
+		Rows:      rs.Rows,
+		Truncated: truncated,
+		Plan:      rs.Plan,
+		Stats:     rs.Stats,
+		TookUS:    time.Since(t0).Microseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 func writeQueryError(w http.ResponseWriter, status int, err error) {
@@ -129,10 +179,11 @@ func writeQueryError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// Attach mounts the query endpoint on a plus server and wires the
-// view-cache counters into its healthz payload.
+// Attach mounts the query endpoints (v1 and principal-scoped v2) on a
+// plus server and wires the view-cache counters into its healthz payload.
 func Attach(s *plus.Server, e *Engine) {
 	s.Handle("/v1/query", NewHandler(e))
+	s.Handle("/v2/query", NewV2Handler(s, e))
 	s.SetQueryStats(func() plus.QueryCacheHealth {
 		st := e.CacheStats()
 		return plus.QueryCacheHealth{

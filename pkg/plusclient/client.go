@@ -1,0 +1,354 @@
+// Package plusclient is the typed Go SDK for the PLUS v2 wire API: the
+// principal-scoped, batch-ingesting, cursor-resumable surface a plusd
+// server mounts under /v2 (internal/plus documents the endpoints).
+//
+// Every method is context-first, so cancellation and deadlines propagate
+// into the server's lineage and query engines. The caller's privilege
+// travels as the client's principal: either a viewer predicate attached
+// with WithViewer (sent as the X-Plus-Viewer header) or a server-minted
+// session established with NewSession (sent as X-Plus-Session).
+//
+//	c := plusclient.New(baseURL, plusclient.WithViewer("Protected"))
+//	cur, err := c.Batch(ctx, plusclient.BatchRequest{Objects: ...})
+//	res, err := c.Lineage(ctx, plusclient.LineageRequest{Start: "report"})
+//
+// Change-feed consumption is resumable: Follow streams deltas, hands the
+// caller one durable cursor per applied event, reconnects on transport
+// failures, and — when the server answers 410 (the cursor fell behind the
+// retained change window or belongs to a previous life of the store) —
+// transparently resyncs from GET /v2/snapshot, delivering the snapshot as
+// an EventResync before resuming the stream.
+package plusclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/account"
+	"repro/internal/plus"
+	"repro/internal/plusql"
+	"repro/internal/privilege"
+)
+
+// Client talks to one plusd server's v2 API.
+type Client struct {
+	base    string
+	http    *http.Client
+	viewer  string
+	session string
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient
+// semantics with no global timeout; use contexts per call).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithViewer attaches a privilege-predicate principal to every request
+// (the X-Plus-Viewer header). The server validates it against its
+// lattice; unknown predicates fail with code "unknown_viewer".
+func WithViewer(viewer string) Option { return func(c *Client) { c.viewer = viewer } }
+
+// WithSessionToken attaches a previously minted session token to every
+// request (the X-Plus-Session header).
+func WithSessionToken(token string) Option { return func(c *Client) { c.session = token } }
+
+// New targets a server base URL such as "http://localhost:7337".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: base, http: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a structured v2 error answer. It satisfies errors.Is for
+// ErrTooFarBehind when the server demanded a resync.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable failure class (plus.Code*).
+	Code string
+	// Message is the human-readable error.
+	Message string
+	// ResyncCursor / ResyncURL accompany too_far_behind answers.
+	ResyncCursor string
+	ResyncURL    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("plusclient: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Is maps the too_far_behind code onto the ErrTooFarBehind sentinel.
+func (e *APIError) Is(target error) bool {
+	return target == ErrTooFarBehind && e.Code == plus.CodeTooFarBehind
+}
+
+// ErrTooFarBehind reports that a cursor no longer resolves on the server:
+// the consumer must resync from a snapshot. errors.Is(err, ErrTooFarBehind)
+// matches APIErrors carrying the too_far_behind code.
+var ErrTooFarBehind = errors.New("plusclient: cursor too far behind; resync from a snapshot")
+
+// do runs one request with the client's principal headers and decodes a
+// JSON answer into out (when non-nil). Non-2xx answers come back as
+// *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("plusclient: encode: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := c.newRequest(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("plusclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("plusclient: decode: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("plusclient: %w", err)
+	}
+	if c.session != "" {
+		req.Header.Set(plus.HeaderSession, c.session)
+	} else if c.viewer != "" {
+		req.Header.Set(plus.HeaderViewer, c.viewer)
+	}
+	return req, nil
+}
+
+// checkStatus turns a non-2xx response into an *APIError, decoding the
+// structured v2 body when present.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var wire struct {
+		Error        string `json:"error"`
+		Code         string `json:"code"`
+		ResyncCursor string `json:"resyncCursor"`
+		ResyncURL    string `json:"resyncURL"`
+	}
+	if json.Unmarshal(data, &wire) == nil && wire.Error != "" {
+		apiErr.Message = wire.Error
+		apiErr.Code = wire.Code
+		apiErr.ResyncCursor = wire.ResyncCursor
+		apiErr.ResyncURL = wire.ResyncURL
+	} else {
+		apiErr.Message = resp.Status
+	}
+	if apiErr.Code == "" {
+		apiErr.Code = fmt.Sprintf("http_%d", resp.StatusCode)
+	}
+	return apiErr
+}
+
+// NewSession mints a server session bound to the viewer predicate and
+// switches the client onto it: subsequent requests authenticate with the
+// session token instead of the viewer header. It returns the token so
+// callers can persist or share it.
+func (c *Client) NewSession(ctx context.Context, viewer string) (string, error) {
+	var resp plus.SessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/sessions", plus.SessionRequest{Viewer: viewer}, &resp); err != nil {
+		return "", err
+	}
+	c.session = resp.Token
+	return resp.Token, nil
+}
+
+// BatchRequest aliases the wire batch: objects, edges and surrogates
+// applied atomically under one revision window.
+type BatchRequest = plus.BatchRequest
+
+// BatchResponse aliases the wire answer: the post-apply revision and the
+// change-feed cursor positioned at it.
+type BatchResponse = plus.BatchResponse
+
+// Batch ingests a whole unit in one request. Objects are applied before
+// edges and surrogates, so intra-batch references work; a validation
+// failure applies nothing.
+func (c *Client) Batch(ctx context.Context, b BatchRequest) (BatchResponse, error) {
+	var resp BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v2/batch", b, &resp)
+	return resp, err
+}
+
+// PutObject stores one object (a single-record batch).
+func (c *Client) PutObject(ctx context.Context, o plus.Object) error {
+	_, err := c.Batch(ctx, BatchRequest{Objects: []plus.Object{o}})
+	return err
+}
+
+// PutEdge stores one edge (a single-record batch).
+func (c *Client) PutEdge(ctx context.Context, e plus.Edge) error {
+	_, err := c.Batch(ctx, BatchRequest{Edges: []plus.Edge{e}})
+	return err
+}
+
+// PutSurrogate stores one surrogate spec (a single-record batch).
+func (c *Client) PutSurrogate(ctx context.Context, sp plus.SurrogateSpec) error {
+	_, err := c.Batch(ctx, BatchRequest{Surrogates: []plus.SurrogateSpec{sp}})
+	return err
+}
+
+// GetObject fetches one object. The fetch is principal-scoped: a record
+// above the client's privilege answers 403 (code "forbidden").
+func (c *Client) GetObject(ctx context.Context, id string) (plus.Object, error) {
+	var o plus.Object
+	err := c.do(ctx, http.MethodGet, "/v2/objects/"+url.PathEscape(id), nil, &o)
+	return o, err
+}
+
+// LineageRequest is one protected lineage question. The viewer is NOT a
+// field: it is the client's principal.
+type LineageRequest struct {
+	Start     string
+	Direction string // ancestors (default) | descendants | both
+	Depth     int    // 0 = unbounded
+	Mode      string // surrogate (default) | hide
+	Label     string // edge-label traversal filter
+	Kind      string // data | invocation traversal filter
+}
+
+// Lineage runs one lineage query as the client's principal.
+func (c *Client) Lineage(ctx context.Context, q LineageRequest) (*plus.LineageResponse, error) {
+	params := url.Values{}
+	params.Set("start", q.Start)
+	if q.Direction != "" {
+		params.Set("direction", q.Direction)
+	}
+	if q.Depth > 0 {
+		params.Set("depth", fmt.Sprint(q.Depth))
+	}
+	if q.Mode != "" {
+		params.Set("mode", q.Mode)
+	}
+	if q.Label != "" {
+		params.Set("label", q.Label)
+	}
+	if q.Kind != "" {
+		params.Set("kind", q.Kind)
+	}
+	var resp plus.LineageResponse
+	if err := c.do(ctx, http.MethodGet, "/v2/lineage?"+params.Encode(), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// QueryOptions tune one PLUSQL query.
+type QueryOptions struct {
+	Mode    string // surrogate (default) | hide
+	Limit   int    // response row cap (0 = server default)
+	Explain bool   // attach the executed plan
+}
+
+// Query runs one PLUSQL query as the client's principal.
+func (c *Client) Query(ctx context.Context, src string, opts QueryOptions) (*plusql.QueryResponse, error) {
+	var resp plusql.QueryResponse
+	err := c.do(ctx, http.MethodPost, "/v2/query", plusql.QueryRequest{
+		Query: src, Mode: opts.Mode, Limit: opts.Limit, Explain: opts.Explain,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SnapshotResponse aliases the wire resync payload.
+type SnapshotResponse = plus.SnapshotResponse
+
+// Snapshot fetches the full store at one revision together with the
+// cursor that resumes the change feed from it.
+func (c *Client) Snapshot(ctx context.Context) (*SnapshotResponse, error) {
+	var resp SnapshotResponse
+	if err := c.do(ctx, http.MethodGet, "/v2/snapshot", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Restore materialises a snapshot payload as a local in-memory backend —
+// a client-side replica at the snapshot's revision. Tools that need the
+// whole graph (cmd/protect and cmd/audit's -server modes) build their
+// account specs from it.
+func Restore(snap *SnapshotResponse) (*plus.MemBackend, error) {
+	m := plus.NewMemBackend(0)
+	_, err := m.Apply(plus.Batch{Objects: snap.Objects, Edges: snap.Edges, Surrogates: snap.Surrogates})
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("plusclient: restore snapshot: %w", err)
+	}
+	return m, nil
+}
+
+// Spec fetches the server's full snapshot and rebuilds the provider-side
+// account.Spec — graph, labeling, policy thresholds and surrogate
+// registry over the server's own privilege lattice — exactly as the
+// server's engines would assemble it. Offline analysis tools (cmd/protect
+// and cmd/audit's -server modes) generate and score protected accounts
+// locally from it.
+func (c *Client) Spec(ctx context.Context) (*account.Spec, *privilege.Lattice, error) {
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	lat, err := privilege.FromPairs(snap.Lattice)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plusclient: server lattice: %w", err)
+	}
+	replica, err := Restore(snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer replica.Close()
+	sn, err := replica.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := plus.SpecFromSnapshot(sn, lat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plusclient: rebuild spec: %w", err)
+	}
+	return spec, lat, nil
+}
+
+// Healthz probes the server's readiness endpoint (shared with v1; the
+// probe is principal-free).
+func (c *Client) Healthz(ctx context.Context) (plus.HealthzResponse, error) {
+	var h plus.HealthzResponse
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}

@@ -1,0 +1,281 @@
+package plusclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/plus"
+)
+
+// EventType tags one change-feed event delivered by Changes/Follow.
+type EventType string
+
+const (
+	// EventChange is one applied record; Cursor resumes after it.
+	EventChange EventType = "change"
+	// EventSync means the consumer is caught up to Cursor.
+	EventSync EventType = "sync"
+	// EventResync is synthesised by Follow after a 410: the server no
+	// longer resolves the cursor, so the full snapshot in Snapshot is the
+	// new base state and Cursor resumes after it. Consumers must replace
+	// (not merge) their derived state with it.
+	EventResync EventType = "resync"
+)
+
+// Event is one delivered change-feed event.
+type Event struct {
+	Type   EventType
+	Cursor string
+	Rev    uint64
+	// Kind selects which record field is set on a change event.
+	Kind      string
+	Object    *plus.Object
+	Edge      *plus.Edge
+	Surrogate *plus.SurrogateSpec
+	// Snapshot accompanies EventResync.
+	Snapshot *SnapshotResponse
+}
+
+// ChangesOptions tune one Changes call.
+type ChangesOptions struct {
+	// Limit stops the stream after this many change events (0 = drain).
+	Limit int
+	// Wait holds the request open this long after catching up, waiting
+	// for more writes (long poll; 0 = return at first catch-up).
+	Wait time.Duration
+}
+
+// Changes drains the change feed once from cursor (empty = the beginning
+// of history) and returns the events plus the cursor to resume from. A
+// cursor the server no longer resolves fails with an *APIError matching
+// errors.Is(err, ErrTooFarBehind); Follow automates the resync.
+func (c *Client) Changes(ctx context.Context, cursor string, opts ChangesOptions) ([]Event, string, error) {
+	return c.changesOnce(ctx, cursor, opts, nil)
+}
+
+// maxEventLine bounds one NDJSON event line. It matches the server's
+// batch body cap (the largest record the API can have accepted), so any
+// legitimately stored record streams through; a longer line is stream
+// corruption, reported as a permanent error rather than retried. The
+// scanner buffer grows on demand, so the cap costs nothing on normal
+// streams.
+const maxEventLine = 64 << 20
+
+// permanentError marks a stream failure reconnecting cannot fix (a
+// malformed or oversized event): the same bytes would arrive again.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// changesOnce runs one GET /v2/changes, invoking fn (when non-nil) per
+// event as it arrives and accumulating events only when fn is nil. next
+// is the last cursor seen (cursor when nothing arrived).
+func (c *Client) changesOnce(ctx context.Context, cursor string, opts ChangesOptions, fn func(Event) error) ([]Event, string, error) {
+	params := url.Values{}
+	if cursor != "" {
+		params.Set("cursor", cursor)
+	}
+	if opts.Limit > 0 {
+		params.Set("limit", fmt.Sprint(opts.Limit))
+	}
+	if opts.Wait > 0 {
+		params.Set("wait", opts.Wait.String())
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/changes?"+params.Encode(), nil)
+	if err != nil {
+		return nil, cursor, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, cursor, fmt.Errorf("plusclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, cursor, err
+	}
+
+	next := cursor
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), maxEventLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &wireEvent{&ev}); err != nil {
+			// A complete but malformed line: retrying replays it.
+			return events, next, &permanentError{fmt.Errorf("plusclient: bad change event: %w", err)}
+		}
+		if fn == nil {
+			events = append(events, ev)
+		}
+		if ev.Cursor != "" {
+			next = ev.Cursor
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return events, next, &handlerError{err}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return events, next, &permanentError{fmt.Errorf("plusclient: change event exceeds %d bytes: %w", maxEventLine, err)}
+		}
+		// A read failure mid-stream: transport trouble, retryable.
+		return events, next, fmt.Errorf("plusclient: change stream: %w", err)
+	}
+	return events, next, nil
+}
+
+// wireEvent adapts the server's NDJSON field names onto Event.
+type wireEvent struct{ ev *Event }
+
+func (w *wireEvent) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Type      string              `json:"type"`
+		Cursor    string              `json:"cursor"`
+		Rev       uint64              `json:"rev"`
+		Kind      string              `json:"kind"`
+		Object    *plus.Object        `json:"object"`
+		Edge      *plus.Edge          `json:"edge"`
+		Surrogate *plus.SurrogateSpec `json:"surrogate"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*w.ev = Event{
+		Type:      EventType(raw.Type),
+		Cursor:    raw.Cursor,
+		Rev:       raw.Rev,
+		Kind:      raw.Kind,
+		Object:    raw.Object,
+		Edge:      raw.Edge,
+		Surrogate: raw.Surrogate,
+	}
+	return nil
+}
+
+// ErrStopFollow, returned from a Follow handler, ends the loop cleanly.
+var ErrStopFollow = errors.New("plusclient: stop following")
+
+// handlerError marks an error raised by the caller's event handler, so
+// the Follow loop returns it instead of treating it as a transport
+// failure to retry.
+type handlerError struct{ err error }
+
+func (e *handlerError) Error() string { return e.err.Error() }
+func (e *handlerError) Unwrap() error { return e.err }
+
+// FollowOptions tune Follow.
+type FollowOptions struct {
+	// Wait is the per-connection long-poll budget (default 10s). Each
+	// reconnect resumes from the last delivered cursor.
+	Wait time.Duration
+	// DisableResync makes a 410 fatal instead of transparently fetching
+	// a snapshot; consumers that cannot rebase (e.g. pure audit tails)
+	// set it and handle ErrTooFarBehind themselves.
+	DisableResync bool
+	// MaxReconnectDelay caps the transport-failure backoff (default 2s).
+	MaxReconnectDelay time.Duration
+}
+
+// Follow streams the change feed from cursor (empty = beginning of
+// history) until ctx is cancelled or the handler returns an error
+// (ErrStopFollow stops cleanly and returns nil). The handler sees every
+// change and sync event in order; transport failures reconnect with
+// backoff from the last delivered cursor, and a 410 triggers an automatic
+// snapshot resync delivered as one EventResync unless DisableResync is
+// set. Exactly-once delivery holds for change events across reconnects
+// and server restarts of durable backends: the resume cursor always names
+// the last event the handler saw.
+func (c *Client) Follow(ctx context.Context, cursor string, opts FollowOptions, fn func(Event) error) error {
+	if opts.Wait <= 0 {
+		opts.Wait = 10 * time.Second
+	}
+	if opts.MaxReconnectDelay <= 0 {
+		opts.MaxReconnectDelay = 2 * time.Second
+	}
+	cur := cursor
+	delay := 50 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, next, err := c.changesOnce(ctx, cur, ChangesOptions{Wait: opts.Wait}, fn)
+		cur = next
+		var he *handlerError
+		var pe *permanentError
+		switch {
+		case err == nil:
+			// Clean end of one long poll: reconnect immediately.
+			delay = 50 * time.Millisecond
+			continue
+		case errors.As(err, &he):
+			if errors.Is(he.err, ErrStopFollow) {
+				return nil
+			}
+			return he.err
+		case errors.As(err, &pe):
+			// Reconnecting would replay the same broken bytes.
+			return pe.err
+		case errors.Is(err, ErrTooFarBehind):
+			if opts.DisableResync {
+				return err
+			}
+			// Back off before fetching: a consumer that cannot outrun the
+			// change horizon would otherwise loop full-snapshot downloads
+			// at wire speed. The delay resets on the next clean poll, so a
+			// one-off resync pays ~50ms.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > opts.MaxReconnectDelay {
+				delay = opts.MaxReconnectDelay
+			}
+			snap, serr := c.Snapshot(ctx)
+			if serr != nil {
+				return fmt.Errorf("plusclient: resync after %w: %v", err, serr)
+			}
+			if ferr := fn(Event{Type: EventResync, Cursor: snap.Cursor, Rev: snap.Revision, Snapshot: snap}); ferr != nil {
+				if errors.Is(ferr, ErrStopFollow) {
+					return nil
+				}
+				return ferr
+			}
+			cur = snap.Cursor
+			continue
+		case ctx.Err() != nil:
+			return ctx.Err()
+		default:
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.Status != http.StatusServiceUnavailable {
+				// A definitive server answer (bad cursor, bad principal):
+				// retrying cannot help.
+				return err
+			}
+			// Transport failure or 503: back off and resume from the last
+			// delivered cursor.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > opts.MaxReconnectDelay {
+				delay = opts.MaxReconnectDelay
+			}
+			continue
+		}
+	}
+}
