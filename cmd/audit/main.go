@@ -11,8 +11,10 @@
 //
 // The spec file format is the same as cmd/protect's (core.SpecFile); with
 // -server the graph and lattice are pulled from a live plusd server
-// through the v2 SDK (pkg/plusclient) instead. With no -edges the audit
-// scores every edge of the original graph.
+// through the v2 SDK (pkg/plusclient) instead (-token authenticates the
+// pull against an auth-required plusd; the token needs the replicate
+// capability). With no -edges the audit scores every edge of the
+// original graph.
 package main
 
 import (
@@ -54,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "path to the JSON graph spec")
 	server := fs.String("server", "", "plusd base URL to pull the graph from instead of -spec")
+	token := fs.String("token", "", "signed session token for -server (needs the replicate capability)")
 	viewersFlag := fs.String("viewers", "", "comma-separated consumer predicates whose accounts are released (required)")
 	edgesFlag := fs.String("edges", "", "comma-separated sensitive edges to score (from->to); default all")
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +65,7 @@ func run(args []string, stdout io.Writer) error {
 	if *viewersFlag == "" {
 		return fmt.Errorf("missing -viewers (run with -h for usage)")
 	}
-	spec, err := core.LoadSpecSource(context.Background(), *specPath, *server)
+	spec, err := core.LoadSpecSource(context.Background(), *specPath, *server, *token)
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	plusctl [-server http://localhost:7337] <command> [args]
+//	plusctl [-server http://localhost:7337] [-token T] <command> [args]
 //
 // Commands:
 //
@@ -12,8 +12,10 @@
 //	get ID
 //	lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]
 //	query [-viewer P] [-mode surrogate|hide] [-limit N] [-format table|json] [-explain] 'PLUSQL'
-//	batch [-viewer P] [-file batch.json]
-//	follow [-viewer P] [-cursor C] [-tail] [-wait D] [-max N] [-no-resync]
+//	batch [-viewer P] [-token T] [-file batch.json]
+//	follow [-viewer P] [-token T] [-cursor C] [-tail] [-wait D] [-max N] [-no-resync]
+//	session mint -keys keyring -viewer P [-caps ingest,query] [-ttl 1h] [-key ID]
+//	session inspect [-keys keyring] TOKEN
 //	stats
 //	healthz
 //	export-opm
@@ -25,6 +27,14 @@
 // cursor; follow streams the change feed as JSON lines, resuming from
 // -cursor, and exits at the first catch-up unless -tail keeps it
 // attached. Any non-2xx server answer exits non-zero.
+//
+// session mint signs a stateless session token offline from a keyring
+// file (one "id:secret" line per key, first key signs) — the operator's
+// bootstrap for a plusd running with -auth-keys. session inspect decodes
+// a token's claims and, given the keyring, verifies its signature and
+// expiry. The global -token (before the subcommand) authenticates every
+// subcommand — v1 and v2 alike — as the X-Plus-Session header; the
+// batch/follow -token flag overrides it per call.
 package main
 
 import (
@@ -52,8 +62,9 @@ var commands = []struct{ name, synopsis string }{
 	{"get", `get ID`},
 	{"lineage", `lineage -start ID [-direction ancestors|descendants|both] [-depth N] [-viewer P] [-mode surrogate|hide] [-label L] [-kind data|invocation]`},
 	{"query", `query [-viewer P] [-mode surrogate|hide] [-limit N] [-format table|json] [-explain] 'PLUSQL query'`},
-	{"batch", `batch [-viewer P] [-file batch.json]`},
-	{"follow", `follow [-viewer P] [-cursor C] [-tail] [-wait D] [-max N] [-no-resync]`},
+	{"batch", `batch [-viewer P] [-token T] [-file batch.json]`},
+	{"follow", `follow [-viewer P] [-token T] [-cursor C] [-tail] [-wait D] [-max N] [-no-resync]`},
+	{"session", `session mint -keys keyring -viewer P [-caps ingest,replicate,query,admin] [-ttl 1h] [-key ID] | session inspect [-keys keyring] TOKEN`},
 	{"stats", `stats`},
 	{"status", `status`},
 	{"healthz", `healthz`},
@@ -65,7 +76,7 @@ var commands = []struct{ name, synopsis string }{
 // or missing subcommands.
 func usageListing() string {
 	var sb strings.Builder
-	sb.WriteString("usage: plusctl [-server URL] <command> [args]\n\ncommands:\n")
+	sb.WriteString("usage: plusctl [-server URL] [-token T] <command> [args]\n\ncommands:\n")
 	for _, c := range commands {
 		sb.WriteString("  " + c.synopsis + "\n")
 	}
@@ -152,13 +163,108 @@ func printJSON(v interface{}) error {
 }
 
 // sdkClient builds the v2 SDK client for the same server the v1 client
-// targets, with an optional viewer principal.
-func sdkClient(c *plus.Client, viewer string) *plusclient.Client {
+// targets, with an optional viewer and/or signed-token principal; an
+// empty token falls back to the global -token attached to c.
+func sdkClient(c *plus.Client, viewer, token string) *plusclient.Client {
 	var opts []plusclient.Option
 	if viewer != "" {
 		opts = append(opts, plusclient.WithViewer(viewer))
 	}
+	if token == "" {
+		token = c.Token()
+	}
+	if token != "" {
+		opts = append(opts, plusclient.WithToken(token))
+	}
 	return plusclient.New(c.BaseURL(), opts...)
+}
+
+// sessionMint signs a token offline from a keyring file.
+func sessionMint(rest []string) error {
+	fs := flag.NewFlagSet("session mint", flag.ExitOnError)
+	keys := fs.String("keys", "", "keyring file (id:secret per line, first key signs)")
+	viewer := fs.String("viewer", "", "privilege-predicate the token acts as (required)")
+	caps := fs.String("caps", "", "comma-separated capabilities (default: all)")
+	ttl := fs.Duration("ttl", time.Hour, "token lifetime")
+	keyID := fs.String("key", "", "sign with this key id instead of the active (first) key")
+	_ = fs.Parse(rest)
+	if *keys == "" || *viewer == "" {
+		return fmt.Errorf("usage: plusctl %s", synopsisOf("session"))
+	}
+	if *ttl <= 0 {
+		return fmt.Errorf("-ttl must be positive (got %s)", *ttl)
+	}
+	kr, err := plus.LoadKeyring(*keys)
+	if err != nil {
+		return err
+	}
+	capList := plus.AllCapabilities()
+	if *caps != "" {
+		capList, err = plus.ParseCapabilities(strings.Split(*caps, ","))
+		if err != nil {
+			return err
+		}
+		if len(capList) == 0 {
+			return fmt.Errorf("empty capability list")
+		}
+	}
+	now := time.Now()
+	token, err := kr.Mint(plus.Claims{
+		Viewer:       *viewer,
+		Capabilities: capList,
+		IssuedAt:     now.Unix(),
+		ExpiresAt:    now.Add(*ttl).Unix(),
+		KeyID:        *keyID,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(token)
+	return nil
+}
+
+// sessionInspect decodes (and, with -keys, verifies) a token.
+func sessionInspect(rest []string) error {
+	fs := flag.NewFlagSet("session inspect", flag.ExitOnError)
+	keys := fs.String("keys", "", "keyring file to verify the signature against")
+	_ = fs.Parse(rest)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: plusctl %s", synopsisOf("session"))
+	}
+	token := fs.Arg(0)
+	claims, err := plus.DecodeTokenClaims(token)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		plus.Claims
+		ExpiresAtTime string `json:"expiresAtTime"`
+		Expired       bool   `json:"expired"`
+		Signature     string `json:"signature"`
+	}{
+		Claims:        claims,
+		ExpiresAtTime: claims.Expiry().UTC().Format(time.RFC3339),
+		Expired:       !time.Now().Before(claims.Expiry()),
+		Signature:     "unverified (no -keys)",
+	}
+	var verifyErr error
+	if *keys != "" {
+		kr, err := plus.LoadKeyring(*keys)
+		if err != nil {
+			return err
+		}
+		if _, verr := kr.Verify(token, time.Now()); verr != nil {
+			out.Signature = "INVALID: " + verr.Error()
+			verifyErr = fmt.Errorf("token does not verify against %s", *keys)
+		} else {
+			out.Signature = "valid (key " + claims.KeyID + ")"
+		}
+	}
+	if err := printJSON(out); err != nil {
+		return err
+	}
+	// Scripts keying on the exit code must see a failed verification.
+	return verifyErr
 }
 
 // healthzExit turns a degraded probe answer into a non-zero exit: the
@@ -173,12 +279,15 @@ func healthzExit(h plus.HealthzResponse) error {
 
 func run() error {
 	server := flag.String("server", "http://localhost:7337", "plusd base URL")
+	token := flag.String("token", "", "signed session token sent with every request (X-Plus-Session)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	return execute(plus.NewClient(*server), args[0], args[1:])
+	c := plus.NewClient(*server)
+	c.SetToken(*token)
+	return execute(c, args[0], args[1:])
 }
 
 // execute dispatches one subcommand against the client; split from run so
@@ -272,9 +381,22 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 			return printJSON(resp)
 		}
 		return printQueryTable(os.Stdout, resp)
+	case "session":
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: plusctl %s", synopsisOf("session"))
+		}
+		switch rest[0] {
+		case "mint":
+			return sessionMint(rest[1:])
+		case "inspect":
+			return sessionInspect(rest[1:])
+		default:
+			return fmt.Errorf("unknown session subcommand %q (want mint or inspect)", rest[0])
+		}
 	case "batch":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		viewer := fs.String("viewer", "", "privilege-predicate principal (X-Plus-Viewer)")
+		token := fs.String("token", "", "signed session token principal (X-Plus-Session)")
 		file := fs.String("file", "", "batch JSON document to ingest (default stdin)")
 		_ = fs.Parse(rest)
 		in := io.Reader(os.Stdin)
@@ -292,7 +414,7 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 		if err := dec.Decode(&b); err != nil {
 			return fmt.Errorf("batch document: %w", err)
 		}
-		resp, err := sdkClient(c, *viewer).Batch(context.Background(), b)
+		resp, err := sdkClient(c, *viewer, *token).Batch(context.Background(), b)
 		if err != nil {
 			return err
 		}
@@ -300,6 +422,7 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 	case "follow":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		viewer := fs.String("viewer", "", "privilege-predicate principal (X-Plus-Viewer)")
+		token := fs.String("token", "", "signed session token principal (X-Plus-Session)")
 		cursor := fs.String("cursor", "", "resume position (from a previous event, batch or snapshot)")
 		tail := fs.Bool("tail", false, "keep following after catching up (default: exit at first sync)")
 		wait := fs.Duration("wait", 10*time.Second, "per-connection long-poll budget when tailing")
@@ -308,7 +431,7 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 		_ = fs.Parse(rest)
 		enc := json.NewEncoder(os.Stdout)
 		changes := 0
-		err := sdkClient(c, *viewer).Follow(context.Background(), *cursor,
+		err := sdkClient(c, *viewer, *token).Follow(context.Background(), *cursor,
 			plusclient.FollowOptions{Wait: *wait, DisableResync: *noResync},
 			func(ev plusclient.Event) error {
 				if err := enc.Encode(ev); err != nil {

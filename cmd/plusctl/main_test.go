@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -278,5 +279,212 @@ func TestUnknownCommandListsUsage(t *testing.T) {
 	}
 	if !strings.Contains(listing, "usage: plusctl") {
 		t.Errorf("usage listing missing header:\n%s", listing)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = orig
+	w.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// TestSessionMintAndInspect drives the operator tooling round trip:
+// mint a token offline from a keyring file, inspect it, and watch
+// inspection fail against the wrong keyring.
+func TestSessionMintAndInspect(t *testing.T) {
+	c := testClient(t)
+	dir := t.TempDir()
+	keys := dir + "/keyring"
+	if err := osWriteFile(keys, "k2:fresh-signing-secret-material\nk1:older-retained-secret-bytes\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := captureStdout(t, func() error {
+		return execute(c, "session", []string{"mint", "-keys", keys, "-viewer", "Protected", "-caps", "ingest,query", "-ttl", "30m"})
+	})
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	token := strings.TrimSpace(out)
+	claims, err := plus.DecodeTokenClaims(token)
+	if err != nil {
+		t.Fatalf("minted token does not decode: %v", err)
+	}
+	if claims.Viewer != "Protected" || claims.KeyID != "k2" {
+		t.Errorf("claims = %+v", claims)
+	}
+	if !claims.Can(plus.CapIngest) || !claims.Can(plus.CapQuery) || claims.Can(plus.CapAdmin) {
+		t.Errorf("capabilities = %v", claims.Capabilities)
+	}
+
+	// Mint with the retained (non-active) key id.
+	out, err = captureStdout(t, func() error {
+		return execute(c, "session", []string{"mint", "-keys", keys, "-viewer", "Public", "-key", "k1"})
+	})
+	if err != nil {
+		t.Fatalf("mint -key: %v", err)
+	}
+	oldKey := strings.TrimSpace(out)
+	if cl, err := plus.DecodeTokenClaims(oldKey); err != nil || cl.KeyID != "k1" {
+		t.Errorf("old-key claims = %+v, %v", cl, err)
+	}
+
+	// Inspect verifies against the keyring, and reports the signer.
+	out, err = captureStdout(t, func() error {
+		return execute(c, "session", []string{"inspect", "-keys", keys, token})
+	})
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if !strings.Contains(out, `"valid (key k2)"`) || !strings.Contains(out, `"Protected"`) {
+		t.Errorf("inspect output:\n%s", out)
+	}
+
+	// Against a different keyring the signature must not verify, and the
+	// command exits non-zero.
+	other := dir + "/other"
+	if err := osWriteFile(other, "kx:completely-different-secret\n"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = captureStdout(t, func() error {
+		return execute(c, "session", []string{"inspect", "-keys", other, token})
+	})
+	if err == nil {
+		t.Error("inspect against the wrong keyring exited 0")
+	}
+	if !strings.Contains(out, "INVALID") {
+		t.Errorf("inspect output missing INVALID:\n%s", out)
+	}
+
+	// Inspect without -keys still decodes the claims.
+	out, err = captureStdout(t, func() error {
+		return execute(c, "session", []string{"inspect", token})
+	})
+	if err != nil || !strings.Contains(out, "unverified") {
+		t.Errorf("bare inspect: err=%v output:\n%s", err, out)
+	}
+
+	// Usage errors.
+	if err := execute(c, "session", nil); err == nil {
+		t.Error("bare session accepted")
+	}
+	if err := execute(c, "session", []string{"frobnicate"}); err == nil {
+		t.Error("unknown session subcommand accepted")
+	}
+	if err := execute(c, "session", []string{"mint", "-keys", keys}); err == nil {
+		t.Error("mint without -viewer accepted")
+	}
+	if err := execute(c, "session", []string{"mint", "-keys", keys, "-viewer", "P", "-caps", "root"}); err == nil {
+		t.Error("mint with unknown capability accepted")
+	}
+}
+
+// TestBatchAndFollowWithToken drives the v2 subcommands against an
+// auth-required server: tokenless fails, -token succeeds.
+func TestBatchAndFollowWithToken(t *testing.T) {
+	kr, err := plus.NewKeyring(plus.Key{ID: "k1", Secret: []byte("ctl-test-secret-material")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plus.NewMemBackend(2)
+	t.Cleanup(func() { m.Close() })
+	lat := privilege.TwoLevel()
+	s := plus.NewServer(plus.NewEngine(m, lat), plus.WithAuth(plus.AuthConfig{Keyring: kr, Require: true}))
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	c := plus.NewClient(srv.URL)
+
+	keys := t.TempDir() + "/keyring"
+	if err := osWriteFile(keys, "k1:ctl-test-secret-material\n"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return execute(c, "session", []string{"mint", "-keys", keys, "-viewer", "Protected"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := strings.TrimSpace(out)
+
+	doc := `{"objects": [{"id": "a", "kind": "data", "name": "a"}]}`
+	path := t.TempDir() + "/batch.json"
+	if err := osWriteFile(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(c, "batch", []string{"-file", path}); err == nil {
+		t.Error("tokenless batch against auth-required server exited 0")
+	}
+	if _, err := captureStdout(t, func() error {
+		return execute(c, "batch", []string{"-token", token, "-file", path})
+	}); err != nil {
+		t.Fatalf("batch -token: %v", err)
+	}
+	if err := execute(c, "follow", []string{"-token", token}); err != nil {
+		t.Fatalf("follow -token: %v", err)
+	}
+	if err := execute(c, "follow", nil); err == nil {
+		t.Error("tokenless follow against auth-required server exited 0")
+	}
+}
+
+// TestGlobalTokenOnV1Subcommands: the global -token (plus.Client.SetToken)
+// authenticates the whole legacy surface — put/get/lineage/stats — against
+// an auth-required server, and the SDK subcommands inherit it.
+func TestGlobalTokenOnV1Subcommands(t *testing.T) {
+	kr, err := plus.NewKeyring(plus.Key{ID: "k1", Secret: []byte("ctl-global-secret-material")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plus.NewMemBackend(2)
+	t.Cleanup(func() { m.Close() })
+	lat := privilege.TwoLevel()
+	s := plus.NewServer(plus.NewEngine(m, lat), plus.WithAuth(plus.AuthConfig{Keyring: kr, Require: true}))
+	plusql.Attach(s, plusql.NewEngine(m, lat))
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	c := plus.NewClient(srv.URL)
+	if err := execute(c, "put-object", []string{"-id", "a", "-kind", "data", "-name", "a"}); err == nil {
+		t.Fatal("tokenless v1 write against auth-required server exited 0")
+	}
+
+	keys := t.TempDir() + "/keyring"
+	if err := osWriteFile(keys, "k1:ctl-global-secret-material\n"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return execute(c, "session", []string{"mint", "-keys", keys, "-viewer", "Protected"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetToken(strings.TrimSpace(out))
+
+	for _, args := range [][]string{
+		{"put-object", "-id", "a", "-kind", "data", "-name", "a"},
+		{"get", "a"},
+		{"lineage", "-start", "a"},
+		{"query", `node(X)`},
+		{"stats"},
+		{"export-opm"},
+		{"follow"}, // SDK subcommand inherits the global token
+	} {
+		if _, err := captureStdout(t, func() error { return execute(c, args[0], args[1:]) }); err != nil {
+			t.Errorf("%v with global token: %v", args, err)
+		}
 	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	plusd -db /var/lib/plus.log -addr :7337 [-backend log|mem] [-lattice lattice.json] [-sync]
+//	      [-auth-keys keyring] [-auth-anonymous] [-session-ttl 1h]
 //
 // The -backend flag selects the storage engine: "log" (default) is the
 // durable CRC-guarded append-only log at -db; "mem" is the sharded
@@ -24,6 +25,17 @@
 // plusctl's batch and follow subcommands ride on it. The log backend
 // persists its change-feed epoch, so /v2 cursors survive restarts.
 //
+// Authentication: -auth-keys loads an HMAC keyring (one "id:secret" line
+// per file line, first key signs; see plusctl session mint) and turns on
+// required auth — every request must carry a signed stateless session
+// token whose capability set (ingest, replicate, query, admin) covers
+// the endpoint. Nodes sharing a keyring accept each other's tokens, so a
+// fleet needs no session replication. -auth-anonymous additionally keeps
+// the legacy read-only surface open: tokenless requests may query (with
+// a validated client-asserted viewer) but not ingest, replicate or
+// administer. Without -auth-keys the daemon runs in the legacy open mode
+// (validated but client-asserted principals, every capability).
+//
 // The lattice file is a JSON array of [dominator, dominated] predicate
 // pairs, e.g. [["High-1","Low-2"],["High-2","Low-2"]]; "Public" is the
 // implicit bottom. Without -lattice the server uses the two-level
@@ -36,11 +48,37 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/plus"
 	"repro/internal/plusql"
 	"repro/internal/privilege"
 )
+
+// buildAuth resolves the -auth-* flags into the server's trust
+// configuration.
+func buildAuth(keysPath string, anonymous bool, sessionTTL, maxTTL time.Duration) (plus.AuthConfig, error) {
+	if sessionTTL > maxTTL {
+		return plus.AuthConfig{}, fmt.Errorf("-session-ttl %s exceeds -session-max-ttl %s", sessionTTL, maxTTL)
+	}
+	if keysPath == "" {
+		if anonymous {
+			return plus.AuthConfig{}, fmt.Errorf("-auth-anonymous requires -auth-keys")
+		}
+		return plus.AuthConfig{DefaultTTL: sessionTTL, MaxTTL: maxTTL}, nil
+	}
+	kr, err := plus.LoadKeyring(keysPath)
+	if err != nil {
+		return plus.AuthConfig{}, err
+	}
+	return plus.AuthConfig{
+		Keyring:       kr,
+		Require:       true,
+		AnonymousRead: anonymous,
+		DefaultTTL:    sessionTTL,
+		MaxTTL:        maxTTL,
+	}, nil
+}
 
 func loadLattice(path string) (*privilege.Lattice, error) {
 	if path == "" {
@@ -82,9 +120,17 @@ func run() error {
 	latticePath := flag.String("lattice", "", "path to a JSON lattice spec (default: two-level)")
 	sync := flag.Bool("sync", false, "fsync every append (log backend)")
 	cache := flag.Bool("cache", true, "memoise lineage answers until the store changes")
+	authKeys := flag.String("auth-keys", "", "HMAC keyring file; requires signed session tokens on every request")
+	authAnon := flag.Bool("auth-anonymous", false, "with -auth-keys: keep the legacy read-only (query) surface open to tokenless requests")
+	sessionTTL := flag.Duration("session-ttl", plus.DefaultSessionTTL, "default lifetime of tokens minted by POST /v2/sessions")
+	maxTTL := flag.Duration("session-max-ttl", plus.DefaultMaxTTL, "cap on requested session lifetimes")
 	flag.Parse()
 
 	lat, err := loadLattice(*latticePath)
+	if err != nil {
+		return err
+	}
+	auth, err := buildAuth(*authKeys, *authAnon, *sessionTTL, *maxTTL)
 	if err != nil {
 		return err
 	}
@@ -97,14 +143,21 @@ func run() error {
 	engine := plus.NewEngine(backend, lat)
 	var srv *plus.Server
 	if *cache {
-		srv = plus.NewCachedServer(plus.NewCachedEngine(engine))
+		srv = plus.NewCachedServer(plus.NewCachedEngine(engine), plus.WithAuth(auth))
 	} else {
-		srv = plus.NewServer(engine)
+		srv = plus.NewServer(engine, plus.WithAuth(auth))
 	}
 	// PLUSQL declarative queries: POST /v1/query and POST /v2/query.
 	plusql.Attach(srv, plusql.NewEngine(backend, lat))
-	log.Printf("plusd: serving %s backend on %s (%d objects, %d edges, cache=%v, epoch=%s)",
-		*backendKind, *addr, backend.NumObjects(), backend.NumEdges(), *cache, backend.Epoch())
+	mode := "open (no authentication)"
+	switch {
+	case auth.Require && auth.AnonymousRead:
+		mode = fmt.Sprintf("authenticated (keys %v, anonymous read-only allowed)", auth.Keyring.KeyIDs())
+	case auth.Require:
+		mode = fmt.Sprintf("authenticated (keys %v)", auth.Keyring.KeyIDs())
+	}
+	log.Printf("plusd: serving %s backend on %s (%d objects, %d edges, cache=%v, epoch=%s, auth=%s)",
+		*backendKind, *addr, backend.NumObjects(), backend.NumEdges(), *cache, backend.Epoch(), mode)
 	return http.ListenAndServe(*addr, srv)
 }
 

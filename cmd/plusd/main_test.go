@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/plus"
 	"repro/internal/privilege"
@@ -74,5 +75,47 @@ func TestLoadLatticeErrors(t *testing.T) {
 	}
 	if _, err := loadLattice(path); err == nil {
 		t.Error("bad lattice JSON accepted")
+	}
+}
+
+// TestBuildAuth resolves the -auth-* flags into the server trust config.
+func TestBuildAuth(t *testing.T) {
+	// Open mode: no keyring, anonymous flag invalid without it.
+	cfg, err := buildAuth("", false, time.Hour, 24*time.Hour)
+	if err != nil || cfg.Require || cfg.Keyring != nil {
+		t.Errorf("open mode = %+v, %v", cfg, err)
+	}
+	if _, err := buildAuth("", true, time.Hour, 24*time.Hour); err == nil {
+		t.Error("-auth-anonymous without -auth-keys accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "keyring")
+	if err := os.WriteFile(path, []byte("k1:daemon-test-secret-bytes\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = buildAuth(path, true, 2*time.Hour, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Require || !cfg.AnonymousRead || cfg.DefaultTTL != 2*time.Hour {
+		t.Errorf("auth config = %+v", cfg)
+	}
+	if cfg.Keyring == nil || cfg.Keyring.Active() != "k1" {
+		t.Errorf("keyring = %+v", cfg.Keyring)
+	}
+
+	if _, err := buildAuth(filepath.Join(t.TempDir(), "missing"), false, time.Hour, 24*time.Hour); err == nil {
+		t.Error("missing keyring file accepted")
+	}
+}
+
+// TestBuildAuthTTLBounds: the default TTL cannot exceed the cap.
+func TestBuildAuthTTLBounds(t *testing.T) {
+	if _, err := buildAuth("", false, 2*time.Hour, time.Hour); err == nil {
+		t.Error("-session-ttl above -session-max-ttl accepted")
+	}
+	cfg, err := buildAuth("", false, time.Hour, 2*time.Hour)
+	if err != nil || cfg.MaxTTL != 2*time.Hour {
+		t.Errorf("cfg = %+v, %v", cfg, err)
 	}
 }

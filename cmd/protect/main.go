@@ -11,7 +11,9 @@
 // plusd server (-server): the remote mode pulls the server's full
 // snapshot and privilege lattice through the v2 SDK (pkg/plusclient) and
 // rebuilds the provider-side spec locally, so stored provenance can be
-// analysed with exactly the same pipeline as spec files.
+// analysed with exactly the same pipeline as spec files. Against an
+// auth-required plusd, pass -token with a session token holding the
+// replicate capability (mint one with plusctl session mint).
 //
 // The viewer may be a comma-separated list of predicates, forming a
 // high-water set for consumers holding several incomparable privileges.
@@ -58,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("protect", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "path to the JSON graph spec")
 	server := fs.String("server", "", "plusd base URL to pull the graph from instead of -spec")
+	token := fs.String("token", "", "signed session token for -server (needs the replicate capability)")
 	viewer := fs.String("viewer", "Public", "consumer privilege-predicate(s), comma-separated for a high-water set")
 	modeName := fs.String("mode", "surrogate", "protection strategy: surrogate or hide")
 	format := fs.String("format", "table", "output format: table, json, dot or report")
@@ -65,7 +68,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	spec, err := core.LoadSpecSource(context.Background(), *specPath, *server)
+	spec, err := core.LoadSpecSource(context.Background(), *specPath, *server, *token)
 	if err != nil {
 		return err
 	}

@@ -15,12 +15,16 @@
 //	                    maintenance (Maintain) and verification
 //	internal/measure    path/node utility and opacity
 //	internal/plus       the PLUS substrate: pluggable storage backends
-//	                    with a change feed (ChangesSince / DeltaSince)
-//	                    and epoch-stamped durable cursors,
+//	                    with a change feed (ChangesSince / DeltaSince /
+//	                    Notify) and epoch-stamped durable cursors,
 //	                    snapshot-isolated lineage engine, delta-scoped
 //	                    answer cache and the HTTP API (v1 and the
-//	                    principal-scoped v2 with batch ingest and the
-//	                    resumable change-feed protocol)
+//	                    principal-scoped v2 with batch ingest, the
+//	                    resumable change-feed protocol, and the
+//	                    authenticated trust surface: HMAC-signed
+//	                    stateless session tokens over a rotatable
+//	                    keyring, with the ingest/replicate/query/admin
+//	                    capability split — see plus/auth.go)
 //	internal/plusql     PLUSQL: datalog-style queries over protected
 //	                    lineage (grammar reference in its doc.go);
 //	                    views refresh incrementally from the change feed
@@ -31,10 +35,11 @@
 //	                    Provenance)
 //
 // The one public package is pkg/plusclient: the typed, context-first Go
-// SDK for the v2 wire API — principal-scoped sessions, atomic batch
-// ingest, and a change-feed follower with durable cursors and automatic
-// snapshot resync. New integrations should consume the server through it
-// rather than hand-rolled /v1 calls.
+// SDK for the v2 wire API — signed session tokens with automatic
+// refresh before expiry (typed ErrUnauthorized/ErrForbidden), atomic
+// batch ingest, and a change-feed follower with durable cursors and
+// automatic snapshot resync. New integrations should consume the server
+// through it rather than hand-rolled /v1 calls.
 //
 // See README.md for a tour, how to run the plusd server and plusctl
 // client, the v2 endpoint table and cursor semantics, and the

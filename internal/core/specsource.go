@@ -13,8 +13,10 @@ import (
 // of a local JSON spec file (the core.SpecFile format) or a live plusd
 // server, pulled through the v2 SDK's snapshot endpoint. Both the
 // protect and audit CLIs share this resolution, so their -spec/-server
-// flags behave identically.
-func LoadSpecSource(ctx context.Context, specPath, serverURL string) (*account.Spec, error) {
+// flags behave identically. token, when non-empty, authenticates the
+// server pull (the snapshot endpoint needs the replicate capability on
+// an auth-required plusd).
+func LoadSpecSource(ctx context.Context, specPath, serverURL, token string) (*account.Spec, error) {
 	switch {
 	case specPath != "" && serverURL != "":
 		return nil, fmt.Errorf("core: -spec and -server are mutually exclusive")
@@ -29,7 +31,11 @@ func LoadSpecSource(ctx context.Context, specPath, serverURL string) (*account.S
 		}
 		return spec, nil
 	case serverURL != "":
-		spec, _, err := plusclient.New(serverURL).Spec(ctx)
+		var opts []plusclient.Option
+		if token != "" {
+			opts = append(opts, plusclient.WithToken(token))
+		}
+		spec, _, err := plusclient.New(serverURL, opts...).Spec(ctx)
 		return spec, err
 	default:
 		return nil, fmt.Errorf("core: missing -spec or -server (run with -h for usage)")

@@ -55,6 +55,14 @@ type Backend interface {
 	// the epoch it was issued under, so a resumed cursor from another
 	// numbering is detected instead of silently misread.
 	Epoch() string
+	// Notify returns a channel that is closed after the next applied
+	// mutation (or Close) — the no-poll wakeup hook for change-feed
+	// followers. Consumers must arm (call Notify) BEFORE re-checking
+	// Revision, then re-arm after each wakeup; a mutation landing
+	// between the check and the wait has already closed the armed
+	// channel, so wakeups are never missed. Spurious wakeups are
+	// allowed.
+	Notify() <-chan struct{}
 	// ChangesSince returns the ordered record deltas applied after
 	// revision since, up to the current revision (one Change per revision
 	// bump, in revision order). Backends may bound how much history they

@@ -156,5 +156,6 @@ func (s *LogBackend) Apply(b Batch) (uint64, error) {
 			return 0, err
 		}
 	}
+	s.broadcast()
 	return s.revision.Load(), nil
 }

@@ -12,8 +12,9 @@ import (
 
 // Client is a thin HTTP client for a PLUS server.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	token string
 }
 
 // NewClient targets a server base URL such as "http://localhost:7337".
@@ -25,14 +26,41 @@ func NewClient(base string) *Client {
 // hand the same endpoint to the v2 SDK (pkg/plusclient).
 func (c *Client) BaseURL() string { return c.base }
 
+// SetToken attaches a signed session token (the X-Plus-Session header)
+// to every request — how the v1 surface is driven against an
+// auth-required server.
+func (c *Client) SetToken(token string) { c.token = token }
+
+// Token reports the attached session token ("" when none).
+func (c *Client) Token() string { return c.token }
+
+// doRequest runs one request with the client's auth header attached.
+func (c *Client) doRequest(method, path, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("plus client: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.token != "" {
+		req.Header.Set(HeaderSession, c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("plus client: %w", err)
+	}
+	return resp, nil
+}
+
 func (c *Client) post(path string, v interface{}) error {
 	return c.PostJSON(path, v, nil)
 }
 
 func (c *Client) get(path string, out interface{}) error {
-	resp, err := c.http.Get(c.base + path)
+	resp, err := c.doRequest(http.MethodGet, path, "", nil)
 	if err != nil {
-		return fmt.Errorf("plus client: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	if err := checkStatus(resp); err != nil {
@@ -52,9 +80,9 @@ func (c *Client) PostJSON(path string, in, out interface{}) error {
 	if err != nil {
 		return fmt.Errorf("plus client: encode: %w", err)
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	resp, err := c.doRequest(http.MethodPost, path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("plus client: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	if err := checkStatus(resp); err != nil {
@@ -149,9 +177,9 @@ func (c *Client) Stats() (StatsResponse, error) {
 // structured "unavailable" answer (with its revision) rather than a bare
 // status error.
 func (c *Client) Healthz() (HealthzResponse, error) {
-	resp, err := c.http.Get(c.base + "/v1/healthz")
+	resp, err := c.doRequest(http.MethodGet, "/v1/healthz", "", nil)
 	if err != nil {
-		return HealthzResponse{}, fmt.Errorf("plus client: %w", err)
+		return HealthzResponse{}, err
 	}
 	defer resp.Body.Close()
 	var h HealthzResponse
@@ -163,9 +191,9 @@ func (c *Client) Healthz() (HealthzResponse, error) {
 
 // ExportOPM streams the server's OPM document to w.
 func (c *Client) ExportOPM(w io.Writer) error {
-	resp, err := c.http.Get(c.base + "/v1/opm")
+	resp, err := c.doRequest(http.MethodGet, "/v1/opm", "", nil)
 	if err != nil {
-		return fmt.Errorf("plus client: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	if err := checkStatus(resp); err != nil {
@@ -177,9 +205,9 @@ func (c *Client) ExportOPM(w io.Writer) error {
 
 // ImportOPM uploads an OPM document from r.
 func (c *Client) ImportOPM(r io.Reader) error {
-	resp, err := c.http.Post(c.base+"/v1/opm", "application/json", r)
+	resp, err := c.doRequest(http.MethodPost, "/v1/opm", "application/json", r)
 	if err != nil {
-		return fmt.Errorf("plus client: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	return checkStatus(resp)

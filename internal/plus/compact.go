@@ -127,6 +127,10 @@ func (s *LogBackend) Compact() error {
 	// and rebuild from a snapshot, which is always correct.
 	s.changes = nil
 	s.changesBase = s.revision.Load()
+	// Wake parked change-feed followers: their streams are pinned to the
+	// old epoch, and the handler ends them when it notices the rotation
+	// (the client then reconnects and resyncs through the 410 path).
+	s.broadcast()
 	return nil
 }
 

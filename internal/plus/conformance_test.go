@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/privilege"
@@ -78,6 +79,7 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("SnapshotIsolation", func(t *testing.T) { conformSnapshotIsolation(t, h) })
 			t.Run("CloseSemantics", func(t *testing.T) { conformClose(t, h) })
 			t.Run("ConcurrentReadersWriters", func(t *testing.T) { conformConcurrency(t, h) })
+			t.Run("NotifyOnWrite", func(t *testing.T) { conformNotify(t, h) })
 			t.Run("ChangesContiguous", func(t *testing.T) { conformChangesContiguous(t, h) })
 			t.Run("ChangesMatchSnapshotDiff", func(t *testing.T) { conformChangesSnapshotDiff(t, h) })
 			t.Run("ChangesErrors", func(t *testing.T) { conformChangesErrors(t, h) })
@@ -91,6 +93,72 @@ func TestBackendConformance(t *testing.T) {
 			}
 		})
 	}
+}
+
+// conformNotify: every mutation path closes the armed Notify channel
+// (the /v2/changes long-poll wakeup), an idle backend never fires, and
+// Close wakes parked waiters.
+func conformNotify(t *testing.T, h backendHarness) {
+	b, _ := h.open(t)
+
+	waitClosed := func(ch <-chan struct{}, what string) {
+		t.Helper()
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s did not broadcast", what)
+		}
+	}
+
+	ch := b.Notify()
+	if err := b.PutObject(Object{ID: "n1", Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(ch, "PutObject")
+
+	// A write BETWEEN arming and waiting is still observed: the channel
+	// returned before the write is already closed.
+	ch = b.Notify()
+	if err := b.PutObject(Object{ID: "n2", Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("pre-armed channel not closed by an intervening write")
+	}
+
+	ch = b.Notify()
+	if err := b.PutEdge(Edge{From: "n1", To: "n2"}); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(ch, "PutEdge")
+
+	ch = b.Notify()
+	if err := b.PutSurrogate(SurrogateSpec{ForID: "n1", ID: "n1'", InfoScore: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(ch, "PutSurrogate")
+
+	ch = b.Notify()
+	if _, err := b.Apply(Batch{Objects: []Object{{ID: "n3", Kind: Data}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(ch, "Apply")
+
+	// Idle: no broadcast.
+	ch = b.Notify()
+	select {
+	case <-ch:
+		t.Fatal("idle backend broadcast")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Close wakes parked waiters.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(ch, "Close")
 }
 
 func seedChain(t *testing.T, b Backend, ids ...string) {

@@ -34,6 +34,10 @@ type MemBackend struct {
 	// cursor from an earlier life must be refused, not resumed.
 	epoch string
 
+	// notifier wakes change-feed followers on every applied mutation
+	// (Backend.Notify); it has its own lock, independent of the shards'.
+	notifier
+
 	revision atomic.Uint64
 	edges    atomic.Int64
 	snap     atomic.Pointer[Snapshot]
@@ -208,6 +212,7 @@ func (m *MemBackend) PutObject(o Object) error {
 	}
 	sh.objects[o.ID] = o
 	sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeObject, Object: o}, m.horizon)
+	m.broadcast()
 	return nil
 }
 
@@ -247,6 +252,7 @@ func (m *MemBackend) PutEdge(e Edge) error {
 	to.in[e.To] = append(to.in[e.To], e)
 	m.edges.Add(1)
 	from.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeEdge, Edge: e}, m.horizon)
+	m.broadcast()
 	return nil
 }
 
@@ -266,6 +272,7 @@ func (m *MemBackend) PutSurrogate(sp SurrogateSpec) error {
 	}
 	sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
 	sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeSurrogate, Surrogate: sp}, m.horizon)
+	m.broadcast()
 	return nil
 }
 
@@ -315,6 +322,7 @@ func (m *MemBackend) Apply(b Batch) (uint64, error) {
 		sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
 		sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeSurrogate, Surrogate: sp}, m.horizon)
 	}
+	m.broadcast()
 	// All shard locks are still held, so no concurrent writer can have
 	// advanced the counter past this batch's last record.
 	return m.revision.Load(), nil
@@ -507,5 +515,6 @@ func (m *MemBackend) Ping() error {
 func (m *MemBackend) Close() error {
 	m.closed.Store(true)
 	m.snap.Store(nil)
+	m.broadcast() // wake parked followers so they observe the close
 	return nil
 }

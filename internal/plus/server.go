@@ -42,13 +42,16 @@ type lineageAnswerer interface {
 //
 // The server also mounts the v2 surface (see v2.go): principal-scoped
 // requests, POST /v2/batch, the durable-cursor change feed GET /v2/changes
-// with its GET /v2/snapshot resync payload, POST /v2/sessions,
-// GET /v2/lineage and GET /v2/objects/{id}. /v1 stays for compatibility.
+// with its GET /v2/snapshot resync payload, POST /v2/sessions (stateless
+// signed tokens), POST /v2/compact, GET /v2/lineage and
+// GET /v2/objects/{id}. /v1 stays for compatibility, gated by the same
+// capability model and answering with Deprecation/Sunset headers
+// (auth.go documents the trust surface).
 type Server struct {
 	engine   *Engine
 	answerer lineageAnswerer
 	mux      *http.ServeMux
-	sessions *sessionStore
+	auth     AuthConfig
 
 	// queryStats, when set (SetQueryStats), surfaces the PLUSQL view-cache
 	// counters in the healthz payload without this package importing the
@@ -56,43 +59,85 @@ type Server struct {
 	queryStats func() QueryCacheHealth
 }
 
+// ServerOption configures NewServer/NewCachedServer.
+type ServerOption func(*Server)
+
+// WithAuth installs the server's trust configuration: the token keyring,
+// whether authentication is required, the anonymous read-only escape
+// hatch, and session lifetimes. Without it the server runs in the legacy
+// open mode (AuthConfig zero value).
+func WithAuth(cfg AuthConfig) ServerOption {
+	return func(s *Server) { s.auth = cfg }
+}
+
 // NewServer wires the HTTP handlers around an engine.
-func NewServer(engine *Engine) *Server {
-	return newServer(engine, engine)
+func NewServer(engine *Engine, opts ...ServerOption) *Server {
+	return newServer(engine, engine, opts...)
 }
 
 // NewCachedServer wires the handlers around a cache-fronted engine;
 // lineage answers are memoised until the store changes.
-func NewCachedServer(engine *CachedEngine) *Server {
-	return newServer(engine.Engine, engine)
+func NewCachedServer(engine *CachedEngine, opts ...ServerOption) *Server {
+	return newServer(engine.Engine, engine, opts...)
 }
 
-func newServer(engine *Engine, answerer lineageAnswerer) *Server {
-	s := &Server{engine: engine, answerer: answerer, mux: http.NewServeMux(), sessions: newSessionStore()}
-	s.mux.HandleFunc("/v1/objects", s.handleObjects)
-	s.mux.HandleFunc("/v1/objects/", s.handleObjectByID)
-	s.mux.HandleFunc("/v1/edges", s.handleEdges)
-	s.mux.HandleFunc("/v1/surrogates", s.handleSurrogates)
-	s.mux.HandleFunc("/v1/lineage", s.handleLineage)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/opm", s.handleOPM)
-	s.mux.HandleFunc("/v2/sessions", s.handleV2Sessions)
-	s.mux.HandleFunc("/v2/batch", s.handleV2Batch)
-	s.mux.HandleFunc("/v2/changes", s.handleV2Changes)
-	s.mux.HandleFunc("/v2/snapshot", s.handleV2Snapshot)
-	s.mux.HandleFunc("/v2/lineage", s.handleV2Lineage)
-	s.mux.HandleFunc("/v2/objects/", s.handleV2ObjectByID)
+func newServer(engine *Engine, answerer lineageAnswerer, opts ...ServerOption) *Server {
+	s := &Server{engine: engine, answerer: answerer, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.auth = s.auth.normalize()
+	s.Handle("/v1/objects", http.HandlerFunc(s.handleObjects))
+	s.Handle("/v1/objects/", http.HandlerFunc(s.handleObjectByID))
+	s.Handle("/v1/edges", http.HandlerFunc(s.handleEdges))
+	s.Handle("/v1/surrogates", http.HandlerFunc(s.handleSurrogates))
+	s.Handle("/v1/lineage", http.HandlerFunc(s.handleLineage))
+	s.Handle("/v1/stats", http.HandlerFunc(s.handleStats))
+	s.Handle("/v1/healthz", http.HandlerFunc(s.handleHealthz))
+	s.Handle("/v1/opm", http.HandlerFunc(s.handleOPM))
+	s.Handle("/v2/sessions", http.HandlerFunc(s.handleV2Sessions))
+	s.Handle("/v2/batch", http.HandlerFunc(s.handleV2Batch))
+	s.Handle("/v2/changes", http.HandlerFunc(s.handleV2Changes))
+	s.Handle("/v2/snapshot", http.HandlerFunc(s.handleV2Snapshot))
+	s.Handle("/v2/lineage", http.HandlerFunc(s.handleV2Lineage))
+	s.Handle("/v2/objects/", http.HandlerFunc(s.handleV2ObjectByID))
+	s.Handle("/v2/compact", http.HandlerFunc(s.handleV2Compact))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// The v1 deprecation policy, announced in the README and carried on the
+// wire (RFC 9745 Deprecation + RFC 8594 Sunset headers) so clients can
+// detect the deprecated surface mechanically. /v1/healthz is exempt: it
+// is the shared readiness probe, not part of the deprecated surface.
+var (
+	v1DeprecatedAt = time.Date(2026, time.August, 1, 0, 0, 0, 0, time.UTC)
+	v1SunsetAt     = time.Date(2027, time.August, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// deprecateV1 stamps every /v1 response with the deprecation headers.
+func deprecateV1(h http.Handler) http.Handler {
+	deprecation := fmt.Sprintf("@%d", v1DeprecatedAt.Unix())
+	sunset := v1SunsetAt.Format(http.TimeFormat)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", deprecation)
+		w.Header().Set("Sunset", sunset)
+		h.ServeHTTP(w, r)
+	})
+}
+
 // Handle registers an additional route on the server's mux, letting
 // higher layers (e.g. the PLUSQL query subsystem) extend the API without
-// this package importing them.
-func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+// this package importing them. Routes under /v1/ (except the healthz
+// probe) automatically carry the Deprecation/Sunset headers.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if strings.HasPrefix(pattern, "/v1/") && pattern != "/v1/healthz" {
+		h = deprecateV1(h)
+	}
+	s.mux.Handle(pattern, h)
+}
 
 // SetQueryStats registers the provider of the query-subsystem view-cache
 // counters rendered in healthz (plusql.Attach wires it).
@@ -155,6 +200,10 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
+	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
 	var o Object
 	if err := decodeBody(w, r, &o); err != nil {
 		writeError(w, err)
@@ -172,10 +221,25 @@ func (s *Server) handleObjectByID(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
+	p, apiErr := s.Authorize(r, CapQuery)
+	if apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/objects/")
 	o, err := s.engine.store.GetObject(id)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	// Historically v1 served raw records and left protection to the
+	// lineage layer. That stays true for the legacy open/anonymous
+	// surfaces, but a scoped token means the caller opted into the
+	// capability model: query = protected reads only, so the v2 dominance
+	// check applies here too.
+	if p.Token != nil && o.Lowest != "" && !s.engine.lattice.Dominates(p.Viewer, privilege.Predicate(o.Lowest)) {
+		WriteAPIError(w, v2Errorf(http.StatusForbidden, CodeForbidden,
+			"plus: object %q requires privilege %q", id, o.Lowest))
 		return
 	}
 	writeJSON(w, http.StatusOK, o)
@@ -184,6 +248,10 @@ func (s *Server) handleObjectByID(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
+		WriteAPIError(w, apiErr)
 		return
 	}
 	var e Edge
@@ -201,6 +269,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSurrogates(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
+		WriteAPIError(w, apiErr)
 		return
 	}
 	var sp SurrogateSpec
@@ -269,12 +341,19 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	asserted := privilege.Predicate(q.Get("viewer"))
+	// v1 carries a client-asserted viewer; under required auth the token
+	// must hold the query capability and dominate the asserted viewer.
+	if apiErr := s.AuthorizeAsserted(r, CapQuery, asserted); apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
 	req, err := parseLineageParams(q)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	req.Viewer = privilege.Predicate(q.Get("viewer"))
+	req.Viewer = asserted
 	if req.Viewer != "" && !s.engine.lattice.Known(req.Viewer) {
 		// The engine rejects the request below; the warning gives operators
 		// a trail for clients sending viewers the lattice never declared
@@ -296,12 +375,21 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleOPM(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
+		// The export carries raw records — the replication capability.
+		if _, apiErr := s.Authorize(r, CapReplicate); apiErr != nil {
+			WriteAPIError(w, apiErr)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := ExportOPM(s.engine.store, w); err != nil {
 			// Headers may already be out; best effort.
 			writeError(w, err)
 		}
 	case http.MethodPost:
+		if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
+			WriteAPIError(w, apiErr)
+			return
+		}
 		// OPM documents can be large but not unbounded; allow 64 MiB.
 		if err := ImportOPM(s.engine.store, http.MaxBytesReader(w, r.Body, 64<<20)); err != nil {
 			writeError(w, err)
@@ -385,6 +473,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if _, apiErr := s.Authorize(r, CapAdmin); apiErr != nil {
+		WriteAPIError(w, apiErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{

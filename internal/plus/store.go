@@ -155,6 +155,10 @@ type LogBackend struct {
 	// Compact. Guarded by mu.
 	epoch string
 
+	// notifier wakes change-feed followers on every applied mutation
+	// (Backend.Notify); it has its own lock and never touches mu.
+	notifier
+
 	closed atomic.Bool
 }
 
@@ -474,7 +478,11 @@ func (s *LogBackend) append(kind byte, v interface{}) error {
 		}
 	}
 	s.size += int64(8 + len(payload))
-	return s.apply(kind, body)
+	if err := s.apply(kind, body); err != nil {
+		return err
+	}
+	s.broadcast()
+	return nil
 }
 
 // PutObject stores (or replaces) a provenance object.
@@ -583,6 +591,7 @@ func (s *LogBackend) Close() error {
 	}
 	s.closed.Store(true)
 	s.snap.Store(nil)
+	s.broadcast() // wake parked followers so they observe the close
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return fmt.Errorf("plus: close sync: %w", err)

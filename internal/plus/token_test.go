@@ -1,0 +1,227 @@
+package plus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testKeyring(t *testing.T, ids ...string) *Keyring {
+	t.Helper()
+	if len(ids) == 0 {
+		ids = []string{"k1"}
+	}
+	keys := make([]Key, len(ids))
+	for i, id := range ids {
+		keys[i] = Key{ID: id, Secret: []byte("secret-secret-secret-" + id)}
+	}
+	kr, err := NewKeyring(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kr
+}
+
+func testClaims(viewer string, caps []Capability, ttl time.Duration) Claims {
+	now := time.Now()
+	return Claims{
+		Viewer:       viewer,
+		Capabilities: caps,
+		IssuedAt:     now.Unix(),
+		ExpiresAt:    now.Add(ttl).Unix(),
+	}
+}
+
+func TestTokenMintVerifyRoundTrip(t *testing.T) {
+	kr := testKeyring(t)
+	tok, err := kr.Mint(testClaims("Protected", []Capability{CapQuery, CapIngest}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tok, tokenPrefix) {
+		t.Errorf("token %q missing prefix", tok)
+	}
+	c, err := kr.Verify(tok, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Viewer != "Protected" || c.KeyID != "k1" {
+		t.Errorf("claims = %+v", c)
+	}
+	if !c.Can(CapQuery) || !c.Can(CapIngest) || c.Can(CapAdmin) || c.Can(CapReplicate) {
+		t.Errorf("capabilities = %v", c.Capabilities)
+	}
+}
+
+func TestTokenExpiryRejected(t *testing.T) {
+	kr := testKeyring(t)
+	tok, err := kr.Mint(testClaims("Protected", []Capability{CapQuery}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kr.Verify(tok, time.Now()); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+	_, err = kr.Verify(tok, time.Now().Add(2*time.Hour))
+	if !errors.Is(err, ErrTokenExpired) {
+		t.Errorf("expired verify error = %v, want ErrTokenExpired", err)
+	}
+}
+
+func TestTokenTamperRejected(t *testing.T) {
+	kr := testKeyring(t)
+	tok, err := kr.Mint(testClaims("Public", []Capability{CapQuery}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one signature byte.
+	tampered := tok[:len(tok)-2] + "AA"
+	if _, err := kr.Verify(tampered, time.Now()); !errors.Is(err, ErrBadToken) {
+		t.Errorf("tampered signature error = %v, want ErrBadToken", err)
+	}
+	// Swap the payload for another claim set while keeping the signature.
+	other, err := kr.Mint(testClaims("Protected", []Capability{CapAdmin}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := strings.LastIndexByte(tok, '.')
+	otherDot := strings.LastIndexByte(other, '.')
+	spliced := other[:otherDot] + tok[dot:]
+	if _, err := kr.Verify(spliced, time.Now()); !errors.Is(err, ErrBadToken) {
+		t.Errorf("spliced payload error = %v, want ErrBadToken", err)
+	}
+	// Garbage.
+	for _, bad := range []string{"", "garbage", tokenPrefix, tokenPrefix + "x", tokenPrefix + "e30.sig!"} {
+		if _, err := kr.Verify(bad, time.Now()); !errors.Is(err, ErrBadToken) {
+			t.Errorf("Verify(%q) = %v, want ErrBadToken", bad, err)
+		}
+	}
+}
+
+// TestTokenKeyRotation: a token signed with a rotated-out-of-active key
+// keeps verifying while the key stays listed, and stops once removed.
+func TestTokenKeyRotation(t *testing.T) {
+	old := testKeyring(t, "k1")
+	tok, err := old.Mint(testClaims("Protected", []Capability{CapQuery}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotation: prepend k2 (now active), retain k1 for verification.
+	rotated := testKeyring(t, "k2", "k1")
+	if rotated.Active() != "k2" {
+		t.Fatalf("active = %q", rotated.Active())
+	}
+	if _, err := rotated.Verify(tok, time.Now()); err != nil {
+		t.Errorf("old-key token rejected after rotation: %v", err)
+	}
+	// New tokens sign with the new key.
+	tok2, err := rotated.Mint(testClaims("Protected", []Capability{CapQuery}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := rotated.Verify(tok2, time.Now()); err != nil || c.KeyID != "k2" {
+		t.Errorf("new token: claims=%+v err=%v", c, err)
+	}
+
+	// k1 dropped: its tokens stop verifying.
+	final := testKeyring(t, "k2")
+	if _, err := final.Verify(tok, time.Now()); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("dropped-key token error = %v, want ErrUnknownKey", err)
+	}
+	if _, err := final.Verify(tok2, time.Now()); err != nil {
+		t.Errorf("active-key token rejected: %v", err)
+	}
+}
+
+func TestParseKeyringFormat(t *testing.T) {
+	kr, err := ParseKeyring([]byte(`
+# active key first
+k2026: 9c2fa0b1d4e57788aabbccdd
+k2025:legacy-secret-still-listed
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.Active() != "k2026" {
+		t.Errorf("active = %q", kr.Active())
+	}
+	if ids := kr.KeyIDs(); len(ids) != 2 || ids[1] != "k2025" {
+		t.Errorf("ids = %v", ids)
+	}
+
+	bad := []string{
+		"",                  // no keys
+		"# only comments\n", // no keys
+		"noseparator\n",     // missing colon
+		"k1:short\n",        // secret too short
+		"k1:" + strings.Repeat("s", 20) + "\nk1:" + strings.Repeat("t", 20) + "\n", // dup id
+	}
+	for _, data := range bad {
+		if _, err := ParseKeyring([]byte(data)); err == nil {
+			t.Errorf("ParseKeyring(%q) accepted", data)
+		}
+	}
+}
+
+func TestParseCapabilities(t *testing.T) {
+	caps, err := ParseCapabilities([]string{"query", " ingest", "query", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 2 || caps[0] != CapIngest || caps[1] != CapQuery {
+		t.Errorf("caps = %v", caps)
+	}
+	if _, err := ParseCapabilities([]string{"root"}); err == nil {
+		t.Error("unknown capability accepted")
+	}
+}
+
+func TestDecodeTokenClaimsWithoutVerification(t *testing.T) {
+	kr := testKeyring(t)
+	tok, err := kr.Mint(testClaims("Protected", []Capability{CapAdmin}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DecodeTokenClaims(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Viewer != "Protected" || !c.Can(CapAdmin) {
+		t.Errorf("claims = %+v", c)
+	}
+	// Decoding inspects even tokens this keyring cannot verify.
+	foreign := testKeyring(t, "other")
+	ftok, err := foreign.Mint(testClaims("Public", []Capability{CapQuery}, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTokenClaims(ftok); err != nil {
+		t.Errorf("foreign decode failed: %v", err)
+	}
+	if _, err := kr.Verify(ftok, time.Now()); err == nil {
+		t.Error("foreign token verified")
+	}
+}
+
+func TestMintValidation(t *testing.T) {
+	kr := testKeyring(t)
+	cases := []Claims{
+		{},
+		{Viewer: "P", Capabilities: []Capability{CapQuery}},                                 // no expiry
+		{Viewer: "P", ExpiresAt: time.Now().Add(time.Hour).Unix()},                          // no caps
+		{Capabilities: []Capability{CapQuery}, ExpiresAt: time.Now().Add(time.Hour).Unix()}, // no viewer
+	}
+	for i, c := range cases {
+		if _, err := kr.Mint(c); err == nil {
+			t.Errorf("case %d: bad claims minted", i)
+		}
+	}
+	if _, err := kr.Mint(Claims{
+		Viewer: "P", Capabilities: []Capability{CapQuery},
+		ExpiresAt: time.Now().Add(time.Hour).Unix(), KeyID: "ghost",
+	}); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown key mint error = %v", err)
+	}
+}

@@ -1,8 +1,6 @@
 package plus
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,7 +8,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/measure"
@@ -41,14 +38,20 @@ import (
 // Trust model: the surface splits into consumer endpoints — lineage,
 // query, object fetch — whose answers are protected for the resolved
 // principal, and provider/replication endpoints — batch, changes,
-// snapshot (and v1's OPM export) — which carry raw records, since a
-// replica must hold the full graph to serve its own viewers. plusd has
-// no authentication anywhere (principals are client-asserted and checked
-// only for validity), so like the rest of the daemon the provider
-// endpoints trust the network they listen on; deploy behind the same
-// boundary that guards writes. Real authn is a ROADMAP item.
+// snapshot (and v1's OPM interchange) — which carry raw records, since a
+// replica must hold the full graph to serve its own viewers. The split
+// is enforced by the capability model (auth.go/token.go): with a keyring
+// configured (plusd -auth-keys), every request must carry an HMAC-signed
+// stateless session token whose capability set covers the endpoint —
+// "ingest" for writes, "replicate" for raw-record reads, "query" for
+// protected reads, "admin" for operations — and any node sharing the
+// keyring verifies any node's tokens, no session state replicated.
+// Without a keyring the server runs in the legacy open mode: principals
+// are validated but client-asserted, and every caller holds every
+// capability.
 //
-// /v1 remains mounted unchanged for compatibility.
+// /v1 remains mounted for compatibility, gated by the same capabilities
+// and answering with Deprecation/Sunset headers.
 
 // v2 principal headers.
 const (
@@ -62,7 +65,9 @@ const (
 const (
 	CodeBadRequest     = "bad_request"
 	CodeUnknownViewer  = "unknown_viewer"
-	CodeUnknownSession = "unknown_session"
+	CodeUnauthorized   = "unauthorized"
+	CodeBadToken       = "bad_token"
+	CodeTokenExpired   = "token_expired"
 	CodeViewerConflict = "viewer_conflict"
 	CodeNotFound       = "not_found"
 	CodeForbidden      = "forbidden"
@@ -112,91 +117,36 @@ func v2StoreError(err error) *APIError {
 	}
 }
 
-// maxSessions bounds the session table: creation is unauthenticated, so
-// without a cap a request loop could grow server memory without limit.
-// At the cap the oldest session is evicted (its holder re-establishes on
-// the next 401), which suits the table's role as a convenience cache of
-// validated viewers rather than durable credentials.
-const maxSessions = 8192
-
-// sessionStore is the in-memory table behind POST /v2/sessions: token ->
-// validated viewer predicate. Tokens are capability-style random strings;
-// contents die with the process (clients re-establish on reconnect, like
-// any bearer session). Bounded FIFO: see maxSessions.
-type sessionStore struct {
-	mu      sync.RWMutex
-	byToken map[string]privilege.Predicate
-	order   []string // creation order, oldest first
-}
-
-func newSessionStore() *sessionStore {
-	return &sessionStore{byToken: map[string]privilege.Predicate{}}
-}
-
-func (st *sessionStore) create(viewer privilege.Predicate) string {
-	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("plus: session entropy unavailable: %v", err))
-	}
-	token := hex.EncodeToString(b[:])
-	st.mu.Lock()
-	for len(st.byToken) >= maxSessions && len(st.order) > 0 {
-		delete(st.byToken, st.order[0])
-		st.order = st.order[1:]
-	}
-	st.byToken[token] = viewer
-	st.order = append(st.order, token)
-	st.mu.Unlock()
-	return token
-}
-
-func (st *sessionStore) lookup(token string) (privilege.Predicate, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	v, ok := st.byToken[token]
-	return v, ok
-}
-
-// Principal resolves the privilege-predicate a v2 request acts as: the
-// session token's bound viewer, or the validated X-Plus-Viewer header, or
-// Public when neither is present. It never falls back silently: an
-// unknown session is a 401, an unknown predicate a 400, and a header
-// contradicting the session a 400.
-func (s *Server) Principal(r *http.Request) (privilege.Predicate, *APIError) {
-	token := r.Header.Get(HeaderSession)
-	header := privilege.Predicate(r.Header.Get(HeaderViewer))
-	if token != "" {
-		viewer, ok := s.sessions.lookup(token)
-		if !ok {
-			return "", v2Errorf(http.StatusUnauthorized, CodeUnknownSession, "plus: unknown session token")
-		}
-		if header != "" && header != viewer {
-			return "", v2Errorf(http.StatusBadRequest, CodeViewerConflict,
-				"plus: %s %q contradicts the session's viewer %q", HeaderViewer, header, viewer)
-		}
-		return viewer, nil
-	}
-	if header != "" {
-		if !s.engine.lattice.Known(header) {
-			return "", v2Errorf(http.StatusBadRequest, CodeUnknownViewer,
-				"plus: unknown viewer predicate %q", header)
-		}
-		return header, nil
-	}
-	return privilege.Public, nil
-}
-
-// SessionRequest is the body of POST /v2/sessions.
+// SessionRequest is the body of POST /v2/sessions: mint a stateless
+// signed session token. Under required auth the caller must itself hold
+// a valid token, and the minted token's *privileges* can only attenuate
+// it: a viewer the caller's viewer equals or dominates, and a
+// capability subset. Expiry deliberately does NOT attenuate — holding a
+// valid token entitles the holder to a fresh one (sliding sessions, the
+// SDK's auto-refresh), so expiry bounds credential staleness, not
+// privilege; revoking a principal for real means rotating its key out
+// of the keyring.
 type SessionRequest struct {
 	// Viewer is the privilege-predicate the session acts as; empty means
-	// Public.
+	// the caller's own viewer (Public in open mode without a header).
 	Viewer string `json:"viewer,omitempty"`
+	// Capabilities lists the minted token's capability set; empty means
+	// everything the caller holds.
+	Capabilities []string `json:"capabilities,omitempty"`
+	// TTLSeconds is the requested lifetime; 0 means the server default,
+	// and the server caps it at AuthConfig.MaxTTL.
+	TTLSeconds int64 `json:"ttlSeconds,omitempty"`
 }
 
 // SessionResponse is the answer to POST /v2/sessions.
 type SessionResponse struct {
-	Token  string `json:"token"`
-	Viewer string `json:"viewer"`
+	Token        string   `json:"token"`
+	Viewer       string   `json:"viewer"`
+	Capabilities []string `json:"capabilities"`
+	// ExpiresAt is the token expiry in unix seconds; clients refresh
+	// before it (the SDK does so automatically).
+	ExpiresAt int64  `json:"expiresAt"`
+	KeyID     string `json:"keyId"`
 }
 
 func (s *Server) handleV2Sessions(w http.ResponseWriter, r *http.Request) {
@@ -204,23 +154,91 @@ func (s *Server) handleV2Sessions(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
+	// Minting needs a resolved principal but no particular capability:
+	// any authenticated caller may attenuate its own token. Anonymous
+	// callers can mint only in open mode (where the principal holds
+	// every capability by definition).
+	caller, apiErr := s.principal(r)
+	if apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
+	if s.auth.Require && caller.Token == nil {
+		WriteAPIError(w, v2Errorf(http.StatusUnauthorized, CodeUnauthorized,
+			"plus: minting a session requires an authenticated principal"))
+		return
+	}
 	var req SessionRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "%s", err))
 		return
 	}
+
 	viewer := privilege.Predicate(req.Viewer)
 	if viewer == "" {
-		viewer = privilege.Public
+		viewer = caller.Viewer
 	}
 	if !s.engine.lattice.Known(viewer) {
 		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeUnknownViewer,
 			"plus: unknown viewer predicate %q", viewer))
 		return
 	}
+	if caller.Token != nil && viewer != caller.Viewer && !s.engine.lattice.Dominates(caller.Viewer, viewer) {
+		WriteAPIError(w, v2Errorf(http.StatusForbidden, CodeForbidden,
+			"plus: cannot mint viewer %q from a token for %q", viewer, caller.Viewer))
+		return
+	}
+
+	caps, err := ParseCapabilities(req.Capabilities)
+	if err != nil {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "%s", err))
+		return
+	}
+	if len(caps) == 0 {
+		caps = caller.Capabilities
+	} else if !capsSubset(caps, caller.Capabilities) {
+		WriteAPIError(w, v2Errorf(http.StatusForbidden, CodeForbidden,
+			"plus: requested capabilities %v exceed the caller's %v", caps, caller.Capabilities))
+		return
+	}
+
+	if req.TTLSeconds < 0 {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest,
+			"plus: negative ttlSeconds"))
+		return
+	}
+	ttl := s.auth.DefaultTTL
+	if req.TTLSeconds > 0 {
+		ttl = time.Duration(req.TTLSeconds) * time.Second
+	}
+	if ttl > s.auth.MaxTTL {
+		ttl = s.auth.MaxTTL
+	}
+	// Viewer and capabilities attenuate (never exceed the caller's), but
+	// expiry deliberately slides: holding a valid credential entitles you
+	// to a fresh one (how the SDK's auto-refresh keeps long-lived
+	// followers alive). Expiry bounds credential staleness; actually
+	// cutting a principal off is key rotation's job.
+	now := time.Now()
+	exp := now.Add(ttl)
+
+	claims := Claims{
+		Viewer:       string(viewer),
+		Capabilities: caps,
+		IssuedAt:     now.Unix(),
+		ExpiresAt:    exp.Unix(),
+	}
+	token, err := s.auth.Keyring.Mint(claims)
+	if err != nil {
+		WriteAPIError(w, v2Errorf(http.StatusInternalServerError, CodeInternal, "%s", err))
+		return
+	}
 	writeJSON(w, http.StatusCreated, SessionResponse{
-		Token:  s.sessions.create(viewer),
-		Viewer: string(viewer),
+		Token:        token,
+		Viewer:       string(viewer),
+		Capabilities: capStrings(caps),
+		ExpiresAt:    claims.ExpiresAt,
+		KeyID:        s.auth.Keyring.Active(),
 	})
 }
 
@@ -252,7 +270,7 @@ func (s *Server) handleV2Batch(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
-	if _, apiErr := s.Principal(r); apiErr != nil {
+	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
 	}
@@ -284,11 +302,12 @@ func (s *Server) handleV2ObjectByID(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
-	viewer, apiErr := s.Principal(r)
+	p, apiErr := s.Authorize(r, CapQuery)
 	if apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
 	}
+	viewer := p.Viewer
 	id := strings.TrimPrefix(r.URL.Path, "/v2/objects/")
 	o, err := s.engine.store.GetObject(id)
 	if err != nil {
@@ -311,7 +330,7 @@ func (s *Server) handleV2Lineage(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
-	viewer, apiErr := s.Principal(r)
+	p, apiErr := s.Authorize(r, CapQuery)
 	if apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
@@ -327,7 +346,7 @@ func (s *Server) handleV2Lineage(w http.ResponseWriter, r *http.Request) {
 		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest, "%s", err))
 		return
 	}
-	req.Viewer = viewer
+	req.Viewer = p.Viewer
 	res, err := s.answerer.LineageContext(r.Context(), req)
 	if err != nil {
 		WriteAPIError(w, v2StoreError(err))
@@ -356,7 +375,7 @@ func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
-	if _, apiErr := s.Principal(r); apiErr != nil {
+	if _, apiErr := s.Authorize(r, CapReplicate); apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
 	}
@@ -416,10 +435,6 @@ func changeEvent(c Change, epoch string) ChangeEvent {
 	return ev
 }
 
-// changePollInterval is how often a long-polling /v2/changes handler
-// re-checks the revision while waiting for new writes.
-const changePollInterval = 20 * time.Millisecond
-
 // maxChangeWait caps the wait parameter so handlers cannot be parked
 // indefinitely; clients reconnect (cheaply, with a cursor) to keep
 // following.
@@ -451,7 +466,7 @@ func (s *Server) handleV2Changes(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
-	if _, apiErr := s.Principal(r); apiErr != nil {
+	if _, apiErr := s.Authorize(r, CapReplicate); apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
 	}
@@ -538,18 +553,36 @@ func (s *Server) handleV2Changes(w http.ResponseWriter, r *http.Request) {
 			wroteSync = true
 		}
 		flush()
-		// Caught up: long-poll for more writes within the wait budget.
+		// Caught up: long-poll for more writes within the wait budget. The
+		// backend's Notify channel is armed BEFORE re-checking the revision,
+		// so a write landing between the check and the wait still wakes us —
+		// no missed wakeups, no polling interval.
 		for {
 			if wait <= 0 || time.Now().After(deadline) || r.Context().Err() != nil {
+				return
+			}
+			notify := s.engine.store.Notify()
+			if s.engine.store.Epoch() != epoch {
+				// Compaction rotated the epoch mid-stream: every cursor this
+				// stream could stamp is already dead. End it; the client
+				// reconnects and resyncs through the pre-stream 410 probe.
 				return
 			}
 			if s.engine.store.Revision() > cur.Rev {
 				break
 			}
+			if s.engine.store.Ping() != nil {
+				return
+			}
+			timer := time.NewTimer(time.Until(deadline))
 			select {
 			case <-r.Context().Done():
+				timer.Stop()
 				return
-			case <-time.After(changePollInterval):
+			case <-notify:
+				timer.Stop()
+			case <-timer.C:
+				return
 			}
 		}
 		changes, err = s.engine.store.ChangesSince(cur.Rev)
@@ -560,6 +593,49 @@ func (s *Server) handleV2Changes(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// compactor is the optional backend capability behind POST /v2/compact;
+// LogBackend implements it, volatile backends do not.
+type compactor interface{ Compact() error }
+
+// CompactResponse reports a completed compaction: the store's footprint
+// after the rewrite and the cursor of the new epoch (compaction rotates
+// the epoch, so followers holding old cursors resync via 410).
+type CompactResponse struct {
+	Status   string `json:"status"`
+	LogBytes int64  `json:"logBytes"`
+	Revision uint64 `json:"revision"`
+	Cursor   string `json:"cursor"`
+}
+
+// handleV2Compact rewrites the durable log to live records only
+// (LogBackend.Compact) under the admin capability.
+func (s *Server) handleV2Compact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if _, apiErr := s.Authorize(r, CapAdmin); apiErr != nil {
+		WriteAPIError(w, apiErr)
+		return
+	}
+	c, ok := s.engine.store.(compactor)
+	if !ok {
+		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest,
+			"plus: this backend does not support compaction"))
+		return
+	}
+	if err := c.Compact(); err != nil {
+		WriteAPIError(w, v2StoreError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Status:   "compacted",
+		LogBytes: s.engine.store.Size(),
+		Revision: s.engine.store.Revision(),
+		Cursor:   Cursor{Epoch: s.engine.store.Epoch(), Rev: s.engine.store.Revision()}.Encode(),
+	})
 }
 
 // parseLineageParams decodes the shared lineage query parameters (start,

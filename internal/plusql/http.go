@@ -50,8 +50,15 @@ const maxQueryBytes = 1 << 16
 
 // NewHandler serves PLUSQL over HTTP: POST /v1/query with a QueryRequest
 // body. Errors are the API's standard {"error": ...} JSON; parse errors
-// carry their line:column position in the message.
-func NewHandler(e *Engine) http.Handler {
+// carry their line:column position in the message. The handler is
+// unauthorized on its own; Attach mounts it behind the plus server's
+// capability middleware.
+func NewHandler(e *Engine) http.Handler { return newV1Handler(e, nil) }
+
+// newV1Handler builds the v1 query handler with an optional authorizer
+// for the body's client-asserted viewer (Attach wires the plus server's
+// capability middleware through it).
+func newV1Handler(e *Engine, authorize func(*http.Request, privilege.Predicate) *plus.APIError) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			plus.MethodNotAllowed(w, http.MethodPost)
@@ -62,7 +69,14 @@ func NewHandler(e *Engine) http.Handler {
 			writeQueryError(w, http.StatusBadRequest, err)
 			return
 		}
-		serveQuery(w, r, e, req, privilege.Predicate(req.Viewer), nil)
+		viewer := privilege.Predicate(req.Viewer)
+		if authorize != nil {
+			if apiErr := authorize(r, viewer); apiErr != nil {
+				plus.WriteAPIError(w, apiErr)
+				return
+			}
+		}
+		serveQuery(w, r, e, req, viewer, nil)
 	})
 }
 
@@ -76,11 +90,12 @@ func NewV2Handler(s *plus.Server, e *Engine) http.Handler {
 			plus.MethodNotAllowed(w, http.MethodPost)
 			return
 		}
-		viewer, apiErr := s.Principal(r)
+		p, apiErr := s.Authorize(r, plus.CapQuery)
 		if apiErr != nil {
 			plus.WriteAPIError(w, apiErr)
 			return
 		}
+		viewer := p.Viewer
 		var req QueryRequest
 		if err := plus.DecodeJSONBody(w, r, maxQueryBytes, &req); err != nil {
 			plus.WriteAPIError(w, &plus.APIError{
@@ -182,7 +197,9 @@ func writeQueryError(w http.ResponseWriter, status int, err error) {
 // Attach mounts the query endpoints (v1 and principal-scoped v2) on a
 // plus server and wires the view-cache counters into its healthz payload.
 func Attach(s *plus.Server, e *Engine) {
-	s.Handle("/v1/query", NewHandler(e))
+	s.Handle("/v1/query", newV1Handler(e, func(r *http.Request, asserted privilege.Predicate) *plus.APIError {
+		return s.AuthorizeAsserted(r, plus.CapQuery, asserted)
+	}))
 	s.Handle("/v2/query", NewV2Handler(s, e))
 	s.SetQueryStats(func() plus.QueryCacheHealth {
 		st := e.CacheStats()

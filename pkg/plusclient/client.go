@@ -3,12 +3,18 @@
 // server mounts under /v2 (internal/plus documents the endpoints).
 //
 // Every method is context-first, so cancellation and deadlines propagate
-// into the server's lineage and query engines. The caller's privilege
-// travels as the client's principal: either a viewer predicate attached
-// with WithViewer (sent as the X-Plus-Viewer header) or a server-minted
-// session established with NewSession (sent as X-Plus-Session).
+// into the server's lineage and query engines. The caller's identity
+// travels as the client's principal: a signed session token attached
+// with WithToken (e.g. minted offline by `plusctl session mint`), a
+// session established with Mint/NewSession — which the client then
+// transparently re-mints before expiry — or, against servers in the
+// legacy open mode, a bare viewer predicate attached with WithViewer.
+// 401 and 403 answers match the ErrUnauthorized and ErrForbidden
+// sentinels via errors.Is, alongside the structured *APIError.
 //
-//	c := plusclient.New(baseURL, plusclient.WithViewer("Protected"))
+//	c := plusclient.New(baseURL, plusclient.WithToken(bootToken))
+//	sess, err := c.Mint(ctx, plusclient.SessionRequest{
+//	    Viewer: "Public", Capabilities: []string{"query"}})
 //	cur, err := c.Batch(ctx, plusclient.BatchRequest{Objects: ...})
 //	res, err := c.Lineage(ctx, plusclient.LineageRequest{Start: "report"})
 //
@@ -29,6 +35,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
+	"time"
 
 	"repro/internal/account"
 	"repro/internal/plus"
@@ -36,12 +44,32 @@ import (
 	"repro/internal/privilege"
 )
 
-// Client talks to one plusd server's v2 API.
+// Client talks to one plusd server's v2 API. It is safe for concurrent
+// use; the session state (token, expiry) is mutex-guarded so auto-refresh
+// races cleanly.
 type Client struct {
-	base    string
-	http    *http.Client
-	viewer  string
+	base   string
+	http   *http.Client
+	viewer string
+
+	// mu guards the session fields below.
+	mu sync.Mutex
+	// session is the current bearer token (X-Plus-Session).
 	session string
+	// sessionExp is the token's expiry when known (zero for tokens
+	// attached via WithToken, which the client cannot introspect safely);
+	// refresh fires refreshMargin before it.
+	sessionExp time.Time
+	// sessionViewer / sessionCaps reproduce the session's scope so a
+	// refresh mints an identically-scoped replacement.
+	sessionViewer string
+	sessionCaps   []string
+	// refreshMargin is how long before expiry the client re-mints.
+	refreshMargin time.Duration
+	// refreshBackoffUntil suppresses refresh attempts after a failed
+	// re-mint, so a dead credential (rotated-out key) costs one extra
+	// round-trip per backoff window instead of one per request.
+	refreshBackoffUntil time.Time
 }
 
 // Option configures New.
@@ -56,9 +84,14 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h
 // lattice; unknown predicates fail with code "unknown_viewer".
 func WithViewer(viewer string) Option { return func(c *Client) { c.viewer = viewer } }
 
-// WithSessionToken attaches a previously minted session token to every
-// request (the X-Plus-Session header).
-func WithSessionToken(token string) Option { return func(c *Client) { c.session = token } }
+// WithToken attaches a signed session token to every request (the
+// X-Plus-Session header) — e.g. one minted offline with `plusctl session
+// mint`. The client sends it as-is; call Mint or NewSession instead to
+// get auto-refresh before expiry.
+func WithToken(token string) Option { return func(c *Client) { c.session = token } }
+
+// WithSessionToken is the historical name of WithToken.
+func WithSessionToken(token string) Option { return WithToken(token) }
 
 // New targets a server base URL such as "http://localhost:7337".
 func New(base string, opts ...Option) *Client {
@@ -70,7 +103,8 @@ func New(base string, opts ...Option) *Client {
 }
 
 // APIError is a structured v2 error answer. It satisfies errors.Is for
-// ErrTooFarBehind when the server demanded a resync.
+// ErrTooFarBehind when the server demanded a resync, ErrUnauthorized on
+// 401s and ErrForbidden on 403s.
 type APIError struct {
 	// Status is the HTTP status code.
 	Status int
@@ -88,15 +122,34 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("plusclient: %d %s: %s", e.Status, e.Code, e.Message)
 }
 
-// Is maps the too_far_behind code onto the ErrTooFarBehind sentinel.
+// Is maps well-known server answers onto the package's sentinel errors.
 func (e *APIError) Is(target error) bool {
-	return target == ErrTooFarBehind && e.Code == plus.CodeTooFarBehind
+	switch target {
+	case ErrTooFarBehind:
+		return e.Code == plus.CodeTooFarBehind
+	case ErrUnauthorized:
+		return e.Status == http.StatusUnauthorized
+	case ErrForbidden:
+		return e.Status == http.StatusForbidden
+	}
+	return false
 }
 
 // ErrTooFarBehind reports that a cursor no longer resolves on the server:
 // the consumer must resync from a snapshot. errors.Is(err, ErrTooFarBehind)
 // matches APIErrors carrying the too_far_behind code.
 var ErrTooFarBehind = errors.New("plusclient: cursor too far behind; resync from a snapshot")
+
+// ErrUnauthorized reports a 401: the request carried no token, an
+// expired token, or one no keyring key signed. Mint (or re-mint) a
+// session and retry. errors.Is(err, ErrUnauthorized) matches 401
+// APIErrors.
+var ErrUnauthorized = errors.New("plusclient: unauthorized; mint a session token")
+
+// ErrForbidden reports a 403: the principal is authenticated but lacks
+// the capability (or privilege) the endpoint demands.
+// errors.Is(err, ErrForbidden) matches 403 APIErrors.
+var ErrForbidden = errors.New("plusclient: forbidden; the token lacks the required capability")
 
 // do runs one request with the client's principal headers and decodes a
 // JSON answer into out (when non-nil). Non-2xx answers come back as
@@ -135,16 +188,101 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 }
 
 func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	c.maybeRefresh(ctx)
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return nil, fmt.Errorf("plusclient: %w", err)
 	}
-	if c.session != "" {
-		req.Header.Set(plus.HeaderSession, c.session)
+	c.mu.Lock()
+	session := c.session
+	c.mu.Unlock()
+	if session != "" {
+		req.Header.Set(plus.HeaderSession, session)
 	} else if c.viewer != "" {
 		req.Header.Set(plus.HeaderViewer, c.viewer)
 	}
 	return req, nil
+}
+
+// maybeRefresh re-mints the session when it is close to expiry (within
+// refreshMargin), using the current — still valid — token as the minting
+// credential, so long-lived clients (change-feed followers, ingest
+// daemons) never present an expired token. Refresh failures are left for
+// the request itself to surface: the old token rides along and the
+// server's 401 is the caller's actionable signal.
+func (c *Client) maybeRefresh(ctx context.Context) {
+	now := time.Now()
+	c.mu.Lock()
+	due := c.session != "" && !c.sessionExp.IsZero() &&
+		now.After(c.refreshBackoffUntil) && c.sessionExp.Sub(now) < c.refreshMargin
+	token, viewer, caps := c.session, c.sessionViewer, c.sessionCaps
+	c.mu.Unlock()
+	if !due {
+		return
+	}
+	resp, err := c.mintWith(ctx, token, plus.SessionRequest{Viewer: viewer, Capabilities: caps})
+	if err != nil {
+		c.mu.Lock()
+		c.refreshBackoffUntil = time.Now().Add(2 * time.Second)
+		c.mu.Unlock()
+		return
+	}
+	c.adoptSession(resp)
+}
+
+// mintWith runs one POST /v2/sessions authenticated by token (empty for
+// the client's viewer-header or anonymous principal), bypassing the
+// session state so refresh cannot recurse.
+func (c *Client) mintWith(ctx context.Context, token string, req plus.SessionRequest) (plus.SessionResponse, error) {
+	var resp plus.SessionResponse
+	data, err := json.Marshal(req)
+	if err != nil {
+		return resp, fmt.Errorf("plusclient: encode: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/sessions", bytes.NewReader(data))
+	if err != nil {
+		return resp, fmt.Errorf("plusclient: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		hreq.Header.Set(plus.HeaderSession, token)
+	} else if c.viewer != "" {
+		hreq.Header.Set(plus.HeaderViewer, c.viewer)
+	}
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return resp, fmt.Errorf("plusclient: %w", err)
+	}
+	defer hresp.Body.Close()
+	if err := checkStatus(hresp); err != nil {
+		return resp, err
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return resp, fmt.Errorf("plusclient: decode: %w", err)
+	}
+	return resp, nil
+}
+
+// adoptSession switches the client onto a freshly minted session and
+// derives the refresh margin: a quarter of the token's lifetime, clamped
+// to [1s, 1m].
+func (c *Client) adoptSession(resp plus.SessionResponse) {
+	exp := time.Unix(resp.ExpiresAt, 0)
+	margin := time.Until(exp) / 4
+	if margin > time.Minute {
+		margin = time.Minute
+	}
+	if margin < time.Second {
+		margin = time.Second
+	}
+	c.mu.Lock()
+	c.session = resp.Token
+	c.sessionExp = exp
+	c.sessionViewer = resp.Viewer
+	c.sessionCaps = resp.Capabilities
+	c.refreshMargin = margin
+	c.refreshBackoffUntil = time.Time{}
+	c.mu.Unlock()
 }
 
 // checkStatus turns a non-2xx response into an *APIError, decoding the
@@ -175,17 +313,49 @@ func checkStatus(resp *http.Response) error {
 	return apiErr
 }
 
+// SessionRequest / SessionResponse alias the wire session-minting shapes.
+type (
+	SessionRequest  = plus.SessionRequest
+	SessionResponse = plus.SessionResponse
+)
+
+// Mint creates a signed stateless session scoped by req — under required
+// auth the current principal can only attenuate its privileges (narrower
+// viewer, capability subset; expiry slides, see plus.SessionRequest) —
+// and switches the client onto the new token, auto-refreshing it before
+// expiry from then on. It returns the full response so callers can
+// persist or share the token.
+func (c *Client) Mint(ctx context.Context, req SessionRequest) (SessionResponse, error) {
+	c.maybeRefresh(ctx)
+	c.mu.Lock()
+	token := c.session
+	c.mu.Unlock()
+	resp, err := c.mintWith(ctx, token, req)
+	if err != nil {
+		return resp, err
+	}
+	c.adoptSession(resp)
+	return resp, nil
+}
+
 // NewSession mints a server session bound to the viewer predicate and
 // switches the client onto it: subsequent requests authenticate with the
-// session token instead of the viewer header. It returns the token so
-// callers can persist or share it.
+// auto-refreshed session token instead of the viewer header. It returns
+// the token so callers can persist or share it.
 func (c *Client) NewSession(ctx context.Context, viewer string) (string, error) {
-	var resp plus.SessionResponse
-	if err := c.do(ctx, http.MethodPost, "/v2/sessions", plus.SessionRequest{Viewer: viewer}, &resp); err != nil {
+	resp, err := c.Mint(ctx, SessionRequest{Viewer: viewer})
+	if err != nil {
 		return "", err
 	}
-	c.session = resp.Token
 	return resp.Token, nil
+}
+
+// Session reports the client's current token and its expiry (zero when
+// unknown, e.g. a WithToken credential).
+func (c *Client) Session() (token string, expiresAt time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session, c.sessionExp
 }
 
 // BatchRequest aliases the wire batch: objects, edges and surrogates
