@@ -17,9 +17,18 @@
 //	session mint -keys keyring -viewer P [-caps ingest,query] [-ttl 1h] [-key ID]
 //	session inspect [-keys keyring] TOKEN
 //	stats
+//	top [-interval 2s] [-n N] [-once]
+//	slowlog
 //	healthz
 //	export-opm
 //	import-opm [-file doc.json]
+//
+// top polls GET /v2/metrics?format=json and renders a live operator
+// table (store gauges, cache efficiency, per-route traffic and latency
+// quantiles, backend and engine phase timings); slowlog dumps the
+// server's slow-query ring (populated when plusd runs with
+// -slow-query). Both need the admin capability on an authenticated
+// server.
 //
 // batch and follow speak the v2 API through the Go SDK (pkg/plusclient):
 // batch ingests a {"objects": [...], "edges": [...], "surrogates": [...]}
@@ -48,6 +57,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plus"
 	"repro/internal/plusql"
 	"repro/pkg/plusclient"
@@ -67,6 +77,8 @@ var commands = []struct{ name, synopsis string }{
 	{"session", `session mint -keys keyring -viewer P [-caps ingest,replicate,query,admin] [-ttl 1h] [-key ID] | session inspect [-keys keyring] TOKEN`},
 	{"stats", `stats`},
 	{"status", `status`},
+	{"top", `top [-interval 2s] [-n N] [-once]`},
+	{"slowlog", `slowlog`},
 	{"healthz", `healthz`},
 	{"export-opm", `export-opm`},
 	{"import-opm", `import-opm [-file doc.json]`},
@@ -457,6 +469,14 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 			return err
 		}
 		return printJSON(s)
+	case "top":
+		return topCommand(c, rest)
+	case "slowlog":
+		var entries []obs.SlowEntry
+		if err := c.GetJSON("/v2/slowlog", &entries); err != nil {
+			return err
+		}
+		return printJSON(entries)
 	case "status":
 		h, err := c.Healthz()
 		if err != nil {

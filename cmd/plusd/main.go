@@ -5,6 +5,7 @@
 //
 //	plusd -db /var/lib/plus.log -addr :7337 [-backend log|mem] [-lattice lattice.json] [-sync]
 //	      [-auth-keys keyring] [-auth-anonymous] [-session-ttl 1h]
+//	      [-slow-query 50ms] [-request-log] [-pprof localhost:6060]
 //
 // The -backend flag selects the storage engine: "log" (default) is the
 // durable CRC-guarded append-only log at -db; "mem" is the sharded
@@ -36,6 +37,18 @@
 // administer. Without -auth-keys the daemon runs in the legacy open mode
 // (validated but client-asserted principals, every capability).
 //
+// Observability: the daemon always keeps a metric registry (HTTP route
+// latency, backend op latency, cache and change-feed counters — the
+// full catalogue is in the README's Operations section) and serves it
+// behind the admin capability at GET /v2/metrics, as Prometheus text
+// exposition or JSON with ?format=json (what plusctl top renders).
+// -slow-query D captures queries taking ≥ D — with per-phase timings
+// and the request's trace ID — in a ring served at GET /v2/slowlog;
+// -request-log writes one structured JSON line per request to stderr;
+// -pprof ADDR serves net/http/pprof on a side listener that bypasses
+// the API's auth (bind it to localhost). SIGHUP reloads -auth-keys in
+// place, so keys rotate without dropping a request.
+//
 // The lattice file is a JSON array of [dominator, dominated] predicate
 // pairs, e.g. [["High-1","Low-2"],["High-2","Low-2"]]; "Public" is the
 // implicit bottom. Without -lattice the server uses the two-level
@@ -46,10 +59,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plus"
 	"repro/internal/plusql"
 	"repro/internal/privilege"
@@ -124,6 +142,10 @@ func run() error {
 	authAnon := flag.Bool("auth-anonymous", false, "with -auth-keys: keep the legacy read-only (query) surface open to tokenless requests")
 	sessionTTL := flag.Duration("session-ttl", plus.DefaultSessionTTL, "default lifetime of tokens minted by POST /v2/sessions")
 	maxTTL := flag.Duration("session-max-ttl", plus.DefaultMaxTTL, "cap on requested session lifetimes")
+	slowQuery := flag.Duration("slow-query", 0, "record lineage/PLUSQL queries at or above this duration in GET /v2/slowlog (0 = off)")
+	slowLogSize := flag.Int("slow-query-log-size", 128, "slow-query ring capacity")
+	requestLog := flag.Bool("request-log", false, "write a structured (JSON) log line per request to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	lat, err := loadLattice(*latticePath)
@@ -140,15 +162,63 @@ func run() error {
 	}
 	defer backend.Close()
 
-	engine := plus.NewEngine(backend, lat)
+	// Observability: the metric registry is always on (exposed behind
+	// the admin capability at GET /v2/metrics), the slow-query ring and
+	// request log are opt-in.
+	reg := obs.NewRegistry()
+	var slow *obs.SlowLog
+	if *slowQuery > 0 {
+		slow = obs.NewSlowLog(*slowLogSize, *slowQuery)
+	}
+	var reqLogger *slog.Logger
+	if *requestLog {
+		reqLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	telemetry := plus.NewObservability(reg, slow, reqLogger)
+	observed := plus.NewObserveBackend(backend, reg)
+
+	engine := plus.NewEngine(observed, lat)
 	var srv *plus.Server
 	if *cache {
-		srv = plus.NewCachedServer(plus.NewCachedEngine(engine), plus.WithAuth(auth))
+		srv = plus.NewCachedServer(plus.NewCachedEngine(engine),
+			plus.WithAuth(auth), plus.WithObservability(telemetry))
 	} else {
-		srv = plus.NewServer(engine, plus.WithAuth(auth))
+		srv = plus.NewServer(engine, plus.WithAuth(auth), plus.WithObservability(telemetry))
 	}
 	// PLUSQL declarative queries: POST /v1/query and POST /v2/query.
-	plusql.Attach(srv, plusql.NewEngine(backend, lat))
+	plusql.Attach(srv, plusql.NewEngine(observed, lat))
+
+	// SIGHUP swaps the keyring in place (key rotation without dropping
+	// a request); meaningless without -auth-keys.
+	if *authKeys != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := srv.ReloadKeyringFromFile(*authKeys); err != nil {
+					log.Printf("plusd: SIGHUP keyring reload failed (keeping current keys): %v", err)
+					continue
+				}
+				log.Printf("plusd: SIGHUP reloaded keyring %s (keys %v)", *authKeys, srv.Keyring().KeyIDs())
+			}
+		}()
+	}
+
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("plusd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("plusd: pprof listener: %v", err)
+			}
+		}()
+	}
+
 	mode := "open (no authentication)"
 	switch {
 	case auth.Require && auth.AnonymousRead:

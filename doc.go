@@ -29,6 +29,11 @@
 //	                    lineage (grammar reference in its doc.go);
 //	                    views refresh incrementally from the change feed
 //	                    instead of rebuilding on every write
+//	internal/obs        dependency-free telemetry: atomic counters,
+//	                    gauges, log-linear p50/p95/p99 histograms, a
+//	                    named registry with Prometheus-text and JSON
+//	                    renderers, request-ID context plumbing and the
+//	                    slow-query ring buffer
 //	internal/workload   evaluation motifs and synthetic graph generator
 //	internal/eval       regeneration of every table and figure
 //	internal/core       high-level facade (builder, Protect, Compare,
@@ -43,6 +48,9 @@
 //
 // See README.md for a tour, how to run the plusd server and plusctl
 // client, the v2 endpoint table and cursor semantics, and the
-// storage-backend options. The benchmarks in bench_test.go regenerate
+// storage-backend options. Its "Operations" section catalogues the
+// /v2/metrics families, the slow-query log and request-tracing
+// headers, pprof, SIGHUP keyring rotation, and the plusctl top /
+// slowlog commands. The benchmarks in bench_test.go regenerate
 // the workload behind each table and figure.
 package repro

@@ -95,9 +95,12 @@ func (p *Provenance) Query(ctx context.Context, src string, opts plusql.Options)
 }
 
 // Server wires an HTTP API around the service's engine, including the
-// PLUSQL query endpoint and the cache counters in /v1/healthz.
-func (p *Provenance) Server() *plus.Server {
-	srv := plus.NewCachedServer(p.engine)
+// PLUSQL query endpoint and the cache counters in /v1/healthz. Options
+// pass through to the server — plus.WithObservability instruments both
+// engines and exposes GET /v2/metrics; plus.WithAuth turns on token
+// authentication.
+func (p *Provenance) Server(opts ...plus.ServerOption) *plus.Server {
+	srv := plus.NewCachedServer(p.engine, opts...)
 	plusql.Attach(srv, p.query)
 	return srv
 }

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// ScaleNanos converts nanosecond observations into rendered seconds.
+const ScaleNanos = 1e-9
+
+// Counter is a monotonically increasing value. All methods are no-ops on
+// a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// CounterVec addresses the series of a labeled counter family.
+type CounterVec struct {
+	f *family
+}
+
+// With returns the counter for these label values, creating it on first
+// use.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	s := cv.f.seriesFor(values, func() *series { return &series{counter: &Counter{}} })
+	return s.counter
+}
+
+// Gauge is a value that can go up and down. All methods are no-ops on a
+// nil receiver. The value is a float stored as its IEEE bits.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+// Log-linear histogram layout. Values are non-negative integers (for
+// latencies: nanoseconds). Each power-of-two octave above 2^histMantBits
+// is split into 2^histMantBits linear sub-buckets, bounding the relative
+// quantile error by 2^-histMantBits (12.5%) while keeping the whole
+// histogram a flat fixed array of counters — no allocation, no locks.
+const (
+	histMantBits = 3
+	histSubCount = 1 << histMantBits // sub-buckets per octave
+	// histNumBuckets covers the full uint64 range: values < histSubCount
+	// map to their own bucket; each of the 61 octaves above (bit lengths
+	// histMantBits+1 through 64) contributes histSubCount buckets.
+	histNumBuckets = histSubCount + (64-histMantBits)*histSubCount
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	b := bits.Len64(v) // v has b significant bits, b >= histMantBits+1
+	shift := uint(b - histMantBits - 1)
+	// v>>shift is in [histSubCount, 2*histSubCount): top mantissa bits.
+	return int(uint(b-histMantBits-1)*histSubCount + uint(v>>shift))
+}
+
+// bucketUpper is the largest value mapping to bucket i — the value
+// reported for quantiles falling in that bucket.
+func bucketUpper(i int) uint64 {
+	if i < histSubCount {
+		return uint64(i)
+	}
+	octave := i/histSubCount - 1 // 0-based octave above the linear range
+	sub := i % histSubCount
+	return (uint64(histSubCount+sub+1) << uint(octave)) - 1
+}
+
+// Histogram is a fixed-layout log-linear histogram. Observation is three
+// atomic adds; Snapshot walks the bucket array. All methods are no-ops
+// on a nil receiver.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histNumBuckets]atomic.Uint64
+}
+
+// Observe records one non-negative value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.buckets[bucketIndex(u)].Add(1)
+	h.sum.Add(u)
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// HistSnapshot is a point-in-time histogram reading. Quantiles carry the
+// raw observed unit (nanoseconds for latencies); renderers apply the
+// family scale.
+type HistSnapshot struct {
+	Count uint64
+	Sum   uint64
+	P50   uint64
+	P95   uint64
+	P99   uint64
+}
+
+// Snapshot reads the histogram and extracts p50/p95/p99. Concurrent
+// observations may tear between buckets and the count; quantiles remain
+// within one bucket (12.5% relative error) of truth, which is fine for
+// monitoring.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [histNumBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	snap := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if total == 0 {
+		return snap
+	}
+	snap.P50 = quantile(&counts, total, 0.50)
+	snap.P95 = quantile(&counts, total, 0.95)
+	snap.P99 = quantile(&counts, total, 0.99)
+	return snap
+}
+
+// quantile finds the bucket holding the q-th observation and returns its
+// upper bound.
+func quantile(counts *[histNumBuckets]uint64, total uint64, q float64) uint64 {
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histNumBuckets - 1)
+}
+
+// HistogramVec addresses the series of a labeled histogram family.
+type HistogramVec struct {
+	f *family
+}
+
+// With returns the histogram for these label values, creating it on
+// first use.
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	if hv == nil {
+		return nil
+	}
+	s := hv.f.seriesFor(values, func() *series { return &series{hist: &Histogram{}} })
+	return s.hist
+}

@@ -1,0 +1,306 @@
+// Package obs is the dependency-free observability substrate of the PLUS
+// server: a named metrics registry (atomic counters, gauges and
+// log-linear latency histograms with p50/p95/p99 extraction), Prometheus
+// text-exposition and JSON renderers, request-ID tracing helpers, and a
+// ring-buffered slow-query log.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost must be a handful of atomic operations. A counter
+//     increment is one atomic add; a histogram observation is three.
+//     There are no allocations on the observation path.
+//   - Everything is nil-safe. Instrumentation sites call through
+//     possibly-nil handles (a *Counter from a nil *Registry), so an
+//     uninstrumented server — or a benchmark baseline — pays only a
+//     predictable nil check. This is what BenchmarkObsOverhead leans on.
+//   - No dependencies. The package imports only the standard library, so
+//     every layer (storage, engines, HTTP, SDK) can use it without
+//     cycles or new modules.
+//
+// Metric families are registered by name with an optional fixed label
+// set; (name, label-values) pairs address individual series. Renderers
+// snapshot the registry (Gather) and emit either the Prometheus text
+// exposition format — histograms as summaries with quantile series — or
+// a stable JSON document (the same Family/Series structs, which
+// `plusctl top` decodes).
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// MetricType classifies a family for renderers.
+type MetricType string
+
+// Family types. Histograms render as Prometheus summaries (quantile
+// series plus _sum and _count), which is what log-linear percentile
+// extraction maps onto.
+const (
+	TypeCounter MetricType = "counter"
+	TypeGauge   MetricType = "gauge"
+	TypeSummary MetricType = "summary"
+)
+
+// Registry is a named set of metric families. All methods are safe for
+// concurrent use, and every method is a no-op on a nil receiver, so
+// instrumented code never branches on "is observability configured".
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one named metric: a fixed label set and the series keyed by
+// their label values.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	labels []string
+	scale  float64 // multiplies raw histogram values at render time
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one (family, label-values) time series. Exactly one of the
+// value fields is used, matching the family type; fn, when set, overrides
+// the stored value at render time (func-backed gauges and counters).
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// familyFor returns (creating if needed) the family with this name. A
+// re-registration with the same name returns the existing family; the
+// caller-supplied type and labels must match it (programming error
+// otherwise, reported by panic since it can only be caused by code, not
+// input).
+func (r *Registry) familyFor(name, help string, typ MetricType, scale float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic("obs: metric " + name + " re-registered with a different shape")
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: append([]string(nil), labels...),
+		scale:  scale,
+		series: map[string]*series{},
+	}
+	r.families[name] = f
+	return f
+}
+
+// seriesKey joins label values with a separator no sane label contains.
+func seriesKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	key := values[0]
+	for _, v := range values[1:] {
+		key += "\x1f" + v
+	}
+	return key
+}
+
+// seriesFor returns (creating if needed) the series for these label
+// values. make constructs the series' value holder on first use.
+func (f *family) seriesFor(values []string, make func() *series) *series {
+	if len(values) != len(f.labels) {
+		panic("obs: metric " + f.name + " used with wrong label count")
+	}
+	key := seriesKey(values)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = make()
+	s.labelValues = append([]string(nil), values...)
+	f.series[key] = s
+	return s
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers (or finds) a counter family with a fixed label
+// set; With addresses individual series.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.familyFor(name, help, TypeCounter, 1, labels)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, TypeGauge, 1, nil)
+	s := f.seriesFor(nil, func() *series { return &series{gauge: &Gauge{}} })
+	return s.gauge
+}
+
+// Histogram registers (or finds) an unlabeled histogram. Scale converts
+// raw observed values into the rendered unit (ScaleNanos for durations
+// observed in nanoseconds and rendered in seconds; 1 for raw counts).
+func (r *Registry) Histogram(name, help string, scale float64) *Histogram {
+	return r.HistogramVec(name, help, scale).With()
+}
+
+// HistogramVec registers (or finds) a histogram family with a fixed
+// label set.
+func (r *Registry) HistogramVec(name, help string, scale float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return &HistogramVec{f: r.familyFor(name, help, TypeSummary, scale, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at render time —
+// the bridge for state that already lives elsewhere (store record
+// counts, cache sizes). Re-registering the same name replaces the
+// callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, TypeGauge, fn)
+}
+
+// CounterFunc registers a counter whose value is read at render time
+// from an externally maintained monotone counter (cache hit totals,
+// notifier wakeups). Re-registering the same name replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, TypeCounter, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, typ MetricType, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	f := r.familyFor(name, help, typ, 1, nil)
+	s := f.seriesFor(nil, func() *series { return &series{} })
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// Label is one rendered label pair.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Series is one rendered time series.
+type Series struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries counter and gauge readings.
+	Value float64 `json:"value"`
+	// Count/Sum/Quantiles carry summary (histogram) readings; quantile
+	// values are in the family's rendered unit (seconds for latencies).
+	Count     uint64             `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Family is one rendered metric family.
+type Family struct {
+	Name   string     `json:"name"`
+	Help   string     `json:"help,omitempty"`
+	Type   MetricType `json:"type"`
+	Series []Series   `json:"series"`
+}
+
+// Gather snapshots every family, sorted by name with series sorted by
+// label values — the deterministic input both renderers share.
+func (r *Registry) Gather() []Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.snapshot())
+	}
+	return out
+}
+
+// snapshot renders one family.
+func (f *family) snapshot() Family {
+	f.mu.RLock()
+	series := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		series = append(series, s)
+	}
+	f.mu.RUnlock()
+	sort.Slice(series, func(i, j int) bool {
+		return seriesKey(series[i].labelValues) < seriesKey(series[j].labelValues)
+	})
+
+	fam := Family{Name: f.name, Help: f.help, Type: f.typ}
+	for _, s := range series {
+		rs := Series{Labels: labelPairs(f.labels, s.labelValues)}
+		switch {
+		case s.fn != nil:
+			rs.Value = s.fn()
+		case s.counter != nil:
+			rs.Value = float64(s.counter.Value())
+		case s.gauge != nil:
+			rs.Value = s.gauge.Value()
+		case s.hist != nil:
+			h := s.hist.Snapshot()
+			rs.Count = h.Count
+			rs.Sum = float64(h.Sum) * f.scale
+			rs.Quantiles = map[string]float64{
+				"0.5":  float64(h.P50) * f.scale,
+				"0.95": float64(h.P95) * f.scale,
+				"0.99": float64(h.P99) * f.scale,
+			}
+		}
+		fam.Series = append(fam.Series, rs)
+	}
+	return fam
+}
+
+func labelPairs(names, values []string) []Label {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]Label, len(names))
+	for i, n := range names {
+		out[i] = Label{Name: n, Value: values[i]}
+	}
+	return out
+}

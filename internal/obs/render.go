@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Histograms are rendered as summaries: one
+// quantile series each for p50/p95/p99 plus the _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.Gather() {
+		if err := writePromFamily(w, fam); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromFamily(w io.Writer, fam Family) error {
+	var b strings.Builder
+	if fam.Help != "" {
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+	}
+	fmt.Fprintf(&b, "# TYPE %s %s\n", fam.Name, fam.Type)
+	for _, s := range fam.Series {
+		switch fam.Type {
+		case TypeSummary:
+			// Quantiles in ascending order for a deterministic exposition.
+			for _, q := range []string{"0.5", "0.95", "0.99"} {
+				writePromLine(&b, fam.Name, s.Labels, "quantile", q, s.Quantiles[q])
+			}
+			writePromLine(&b, fam.Name+"_sum", s.Labels, "", "", s.Sum)
+			writePromLine(&b, fam.Name+"_count", s.Labels, "", "", float64(s.Count))
+		default:
+			writePromLine(&b, fam.Name, s.Labels, "", "", s.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromLine emits one sample, appending an extra label pair (the
+// summary quantile) when extraName is non-empty.
+func writePromLine(b *strings.Builder, name string, labels []Label, extraName, extraValue string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraValue)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatPromValue(v))
+	b.WriteByte('\n')
+}
+
+// formatPromValue renders a float the way Prometheus clients do:
+// integers without an exponent, everything else in shortest form.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteJSON renders the registry snapshot as a JSON array of families —
+// the same structure Gather returns, which plusctl top decodes.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := r.Gather()
+	if fams == nil {
+		fams = []Family{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fams)
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// HeaderRequestID is the HTTP header carrying a request ID in both
+// directions: clients may supply one (the SDK's WithRequestID does), and
+// the server echoes the effective ID on every response so client-observed
+// and server-observed latency can be correlated.
+const HeaderRequestID = "X-Plus-Request-Id"
+
+type requestIDKey struct{}
+
+// NewRequestID returns a fresh 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed
+		// fallback keeps tracing non-fatal regardless.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID tags a context with a request ID for propagation through
+// engines and the SDK.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request ID from a context ("" when untagged).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -110,9 +110,11 @@ func (p Principal) Can(cap Capability) bool { return capsHave(p.Capabilities, ca
 func (s *Server) Authorize(r *http.Request, need Capability) (Principal, *APIError) {
 	p, apiErr := s.principal(r)
 	if apiErr != nil {
+		s.obs.authz.With(string(need), "unauthorized").Inc()
 		return Principal{}, apiErr
 	}
 	if !p.Can(need) {
+		s.obs.authz.With(string(need), "forbidden").Inc()
 		if s.auth.Require && p.Token == nil {
 			// An anonymous-read principal outside its read-only surface:
 			// the fix is to authenticate, so answer 401, not 403.
@@ -122,6 +124,7 @@ func (s *Server) Authorize(r *http.Request, need Capability) (Principal, *APIErr
 		return Principal{}, v2Errorf(http.StatusForbidden, CodeForbidden,
 			"plus: principal %q lacks the %q capability", p.Viewer, need)
 	}
+	s.obs.authz.With(string(need), "ok").Inc()
 	return p, nil
 }
 
@@ -148,10 +151,16 @@ func (s *Server) principal(r *http.Request) (Principal, *APIError) {
 	token := r.Header.Get(HeaderSession)
 	header := privilege.Predicate(r.Header.Get(HeaderViewer))
 	if token != "" {
-		claims, err := s.auth.Keyring.Verify(token, time.Now())
+		claims, err := s.Keyring().Verify(token, time.Now())
 		if err != nil {
+			outcome := "bad"
+			if errors.Is(err, ErrTokenExpired) {
+				outcome = "expired"
+			}
+			s.obs.tokenVerify.With(outcome).Inc()
 			return Principal{}, tokenError(err)
 		}
+		s.obs.tokenVerify.With("ok").Inc()
 		viewer := privilege.Predicate(claims.Viewer)
 		if header != "" && header != viewer {
 			return Principal{}, v2Errorf(http.StatusBadRequest, CodeViewerConflict,

@@ -72,6 +72,14 @@ func (c *Client) get(path string, out interface{}) error {
 	return nil
 }
 
+// GetJSON fetches path and decodes the JSON response into out. Like
+// PostJSON it exists for extension callers (plusctl top polls
+// /v2/metrics?format=json through it) that want the client's transport,
+// auth header and error conventions.
+func (c *Client) GetJSON(path string, out interface{}) error {
+	return c.get(path, out)
+}
+
 // PostJSON posts in as JSON to path and, when out is non-nil, decodes the
 // JSON response into it. It lets extension subsystems (e.g. PLUSQL) reuse
 // the client's transport and error conventions for their own endpoints.

@@ -433,6 +433,29 @@ func (m *MemBackend) ChangeHorizon() int {
 	return m.horizon
 }
 
+// ChangeWindow reports the resident change-feed window across the
+// per-shard rings. The base is conservative: a ring at capacity may have
+// evicted, so the oldest position the merged feed is guaranteed to serve
+// is just before the oldest entry of the fullest-aged ring. Depth is the
+// total resident change count.
+func (m *MemBackend) ChangeWindow() FeedWindow {
+	m.rlockAll()
+	defer m.runlockAll()
+	w := FeedWindow{Horizon: m.horizon}
+	for i := range m.shards {
+		ring := &m.shards[i].changes
+		w.Depth += len(ring.buf)
+		if len(ring.buf) >= m.horizon && len(ring.buf) > 0 {
+			// This ring may have evicted history: the feed can only
+			// resume at or after its oldest retained entry.
+			if base := ring.at(0).Rev - 1; base > w.Base {
+				w.Base = base
+			}
+		}
+	}
+	return w
+}
+
 // ChangesSince merges the per-shard rings into the ordered record deltas
 // applied after revision since. When part of that window has been evicted
 // from a ring it fails with ErrTooFarBehind: the caller is too far behind

@@ -1,6 +1,9 @@
 package plus
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // notifier is the closed-channel broadcast behind Backend.Notify: the
 // standard Go idiom for "wake every waiter at once, zero cost when
@@ -16,6 +19,11 @@ import "sync"
 type notifier struct {
 	mu sync.Mutex
 	ch chan struct{}
+
+	// wakeups counts broadcasts that actually woke waiters (a closed
+	// channel); broadcasts with nobody parked are free and uncounted.
+	// Observability reads it to report follower wakeup traffic.
+	wakeups atomic.Uint64
 }
 
 // Notify returns a channel that is closed after the next mutation (or
@@ -38,5 +46,11 @@ func (n *notifier) broadcast() {
 	if n.ch != nil {
 		close(n.ch)
 		n.ch = nil
+		n.wakeups.Add(1)
 	}
 }
+
+// Wakeups reports how many broadcasts found waiters to wake. Both
+// backends inherit it (Backend embeds notifier), giving the metrics
+// layer a change-feed wakeup counter.
+func (n *notifier) Wakeups() uint64 { return n.wakeups.Load() }

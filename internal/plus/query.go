@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/account"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/privilege"
 	"repro/internal/surrogate"
@@ -61,6 +62,9 @@ type Timing struct {
 	Protect time.Duration
 	// Total covers the whole query.
 	Total time.Duration
+	// Levels is how many BFS levels the closure fetch expanded — the
+	// traversal depth actually reached, bounded by Request.Depth.
+	Levels int
 }
 
 // Result is a protected lineage answer.
@@ -82,6 +86,89 @@ type Engine struct {
 	// GOMAXPROCS. Atomic so SetFetchWorkers is safe while queries are in
 	// flight.
 	fetchWorkers atomic.Int32
+
+	// obsHooks holds the engine's telemetry handles (SetObservability);
+	// nil means uninstrumented. Atomic so wiring it after construction is
+	// safe while queries are in flight.
+	obsHooks atomic.Pointer[lineageObs]
+}
+
+// lineageObs is the engine's telemetry bundle: phase/level histograms
+// plus the shared slow-query sink.
+type lineageObs struct {
+	o      *Observability
+	phase  *obs.HistogramVec // dbAccess / build / protect / total
+	levels *obs.Histogram
+}
+
+// SetObservability instruments the engine: per-phase latency histograms
+// (plus_lineage_seconds{phase}), the BFS level distribution, and
+// slow-query capture through o's ring. Only computed queries record —
+// the CachedEngine serves hits without touching the engine, so cached
+// answers never double-count. Passing nil uninstruments.
+func (en *Engine) SetObservability(o *Observability) {
+	if o == nil {
+		en.obsHooks.Store(nil)
+		return
+	}
+	reg := o.Registry()
+	en.obsHooks.Store(&lineageObs{
+		o: o,
+		phase: reg.HistogramVec("plus_lineage_seconds",
+			"Lineage query latency by phase (dbAccess/build/protect/total).", obs.ScaleNanos, "phase"),
+		levels: reg.Histogram("plus_lineage_bfs_levels",
+			"BFS levels expanded per computed lineage query.", 1),
+	})
+}
+
+// observe records one computed lineage answer's telemetry.
+func (en *Engine) observe(ctx context.Context, req Request, t Timing) {
+	h := en.obsHooks.Load()
+	if h == nil {
+		return
+	}
+	h.phase.With("dbAccess").Observe(t.DBAccess.Nanoseconds())
+	h.phase.With("build").Observe(t.Build.Nanoseconds())
+	h.phase.With("protect").Observe(t.Protect.Nanoseconds())
+	h.phase.With("total").Observe(t.Total.Nanoseconds())
+	h.levels.Observe(int64(t.Levels))
+	if h.o.SlowQueryLog().Eligible(t.Total) {
+		h.o.RecordSlowQuery(obs.SlowEntry{
+			RequestID: obs.RequestID(ctx),
+			Kind:      "lineage",
+			Query:     describeLineage(req),
+			Viewer:    string(req.Viewer),
+			TotalUS:   t.Total.Microseconds(),
+			Phases: []obs.Phase{
+				{Name: "dbAccess", US: t.DBAccess.Microseconds()},
+				{Name: "build", US: t.Build.Microseconds()},
+				{Name: "protect", US: t.Protect.Microseconds()},
+			},
+			Levels: t.Levels,
+		})
+	}
+}
+
+// describeLineage renders a request compactly for the slow-query log.
+func describeLineage(req Request) string {
+	dir := "ancestors"
+	switch req.Direction {
+	case graph.Forward:
+		dir = "descendants"
+	case graph.Undirected:
+		dir = "both"
+	}
+	s := fmt.Sprintf("lineage start=%s direction=%s mode=%s", req.Start, dir, req.Mode)
+	if req.Depth > 0 {
+		s += fmt.Sprintf(" depth=%d", req.Depth)
+	}
+	if req.LabelFilter != "" {
+		s += " label=" + req.LabelFilter
+	}
+	if req.KindFilter != "" {
+		s += " kind=" + string(req.KindFilter)
+	}
+	return s
 }
 
 // NewEngine binds a backend to the lattice its Lowest nicknames refer to.
@@ -111,6 +198,8 @@ type fetched struct {
 	objects    []Object
 	edges      []Edge
 	surrogates []SurrogateSpec
+	// levels is how many BFS levels the walk expanded.
+	levels int
 }
 
 // parallelFrontier is the frontier width at which fetch switches from a
@@ -180,7 +269,8 @@ func (en *Engine) fetch(ctx context.Context, req Request) (*fetched, error) {
 	seen := map[string]bool{req.Start: true}
 	edgeSeen := map[[2]string]bool{}
 	frontier := []string{req.Start}
-	for depth := 0; len(frontier) > 0 && (req.Depth == 0 || depth < req.Depth); depth++ {
+	depth := 0
+	for ; len(frontier) > 0 && (req.Depth == 0 || depth < req.Depth); depth++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, err)
 		}
@@ -237,6 +327,7 @@ func (en *Engine) fetch(ctx context.Context, req Request) (*fetched, error) {
 		}
 		frontier = next
 	}
+	f.levels = depth
 	for _, o := range f.objects {
 		f.surrogates = append(f.surrogates, sn.Surrogates(o.ID)...)
 	}
@@ -328,7 +419,7 @@ func (en *Engine) LineageContext(ctx context.Context, req Request) (*Result, err
 		return nil, err
 	}
 
-	return &Result{
+	res := &Result{
 		Spec:    spec,
 		Account: acct,
 		Timing: Timing{
@@ -336,6 +427,9 @@ func (en *Engine) LineageContext(ctx context.Context, req Request) (*Result, err
 			Build:    tBuild.Sub(tFetch),
 			Protect:  tProtect.Sub(tBuild),
 			Total:    tProtect.Sub(t0),
+			Levels:   f.levels,
 		},
-	}, nil
+	}
+	en.observe(ctx, req, res.Timing)
+	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -53,6 +54,15 @@ type Server struct {
 	mux      *http.ServeMux
 	auth     AuthConfig
 
+	// keyring is the live token keyring, swapped atomically so plusd's
+	// SIGHUP reload rotates keys with zero downtime: requests in flight
+	// keep the ring they resolved, new requests see the new one.
+	keyring atomic.Pointer[Keyring]
+
+	// obs is the telemetry bundle (WithObservability); never nil after
+	// newServer, with every sink disabled by default.
+	obs *Observability
+
 	// queryStats, when set (SetQueryStats), surfaces the PLUSQL view-cache
 	// counters in the healthz payload without this package importing the
 	// query subsystem.
@@ -87,6 +97,14 @@ func newServer(engine *Engine, answerer lineageAnswerer, opts ...ServerOption) *
 		o(s)
 	}
 	s.auth = s.auth.normalize()
+	s.keyring.Store(s.auth.Keyring)
+	if s.obs == nil {
+		s.obs = NewObservability(nil, nil, nil)
+	}
+	if s.obs.Registry() != nil || s.obs.SlowQueryLog() != nil {
+		s.engine.SetObservability(s.obs)
+	}
+	s.registerServerMetrics()
 	s.Handle("/v1/objects", http.HandlerFunc(s.handleObjects))
 	s.Handle("/v1/objects/", http.HandlerFunc(s.handleObjectByID))
 	s.Handle("/v1/edges", http.HandlerFunc(s.handleEdges))
@@ -102,11 +120,40 @@ func newServer(engine *Engine, answerer lineageAnswerer, opts ...ServerOption) *
 	s.Handle("/v2/lineage", http.HandlerFunc(s.handleV2Lineage))
 	s.Handle("/v2/objects/", http.HandlerFunc(s.handleV2ObjectByID))
 	s.Handle("/v2/compact", http.HandlerFunc(s.handleV2Compact))
+	s.Handle("/v2/metrics", http.HandlerFunc(s.handleV2Metrics))
+	s.Handle("/v2/slowlog", http.HandlerFunc(s.handleV2Slowlog))
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler through the observability middleware:
+// every request gets a trace ID, route metrics and (when configured) a
+// structured log line on its way into the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.serveObserved(w, r) }
+
+// Keyring returns the live token keyring.
+func (s *Server) Keyring() *Keyring { return s.keyring.Load() }
+
+// SetKeyring atomically replaces the live token keyring; nil is ignored.
+func (s *Server) SetKeyring(kr *Keyring) {
+	if kr != nil {
+		s.keyring.Store(kr)
+	}
+}
+
+// ReloadKeyringFromFile re-reads an "id:secret"-per-line keyring file and
+// swaps it in without restarting — plusd's SIGHUP handler. A parse
+// failure leaves the current keyring serving and is reported (and
+// counted) rather than applied.
+func (s *Server) ReloadKeyringFromFile(path string) error {
+	kr, err := LoadKeyring(path)
+	if err != nil {
+		s.obs.keyringLoads.With("error").Inc()
+		return err
+	}
+	s.keyring.Store(kr)
+	s.obs.keyringLoads.With("ok").Inc()
+	return nil
+}
 
 // The v1 deprecation policy, announced in the README and carried on the
 // wire (RFC 9745 Deprecation + RFC 8594 Sunset headers) so clients can
@@ -401,12 +448,47 @@ func (s *Server) handleOPM(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ChangeFeedHealth reports the change feed's retention state: the
+// backend epoch and revision a cursor must match, and the resident
+// window (base/depth/horizon). A follower holding cursor rev r computes
+// its lag as Revision-r and knows it must resync once r < Base.
+type ChangeFeedHealth struct {
+	Epoch    string `json:"epoch"`
+	Revision uint64 `json:"revision"`
+	// Base is the oldest change-feed position the backend can still
+	// serve; Depth is the resident change count; Horizon the configured
+	// retention capacity.
+	Base    uint64 `json:"base"`
+	Depth   int    `json:"depth"`
+	Horizon int    `json:"horizon"`
+}
+
+// changeFeedHealth assembles the block (nil when the backend exposes no
+// window introspection).
+func (s *Server) changeFeedHealth() *ChangeFeedHealth {
+	b := s.engine.store
+	w, ok := backendChangeWindow(b)
+	if !ok {
+		return nil
+	}
+	return &ChangeFeedHealth{
+		Epoch:    b.Epoch(),
+		Revision: b.Revision(),
+		Base:     w.Base,
+		Depth:    w.Depth,
+		Horizon:  w.Horizon,
+	}
+}
+
 // StatsResponse summarises the store.
 type StatsResponse struct {
 	Objects   int   `json:"objects"`
 	Edges     int   `json:"edges"`
 	LogBytes  int64 `json:"logBytes"`
 	UptimeSec int64 `json:"uptimeSec"`
+	// ChangeFeed reports feed retention so followers can compute lag;
+	// absent when the backend has no window introspection.
+	ChangeFeed *ChangeFeedHealth `json:"changeFeed,omitempty"`
 }
 
 var serverStart = time.Now()
@@ -438,6 +520,9 @@ type HealthzResponse struct {
 	// QueryCache reports the PLUSQL protected-view cache (present when
 	// the query subsystem is attached).
 	QueryCache *QueryCacheHealth `json:"queryCache,omitempty"`
+	// ChangeFeed reports feed retention state (epoch, revision, resident
+	// window) so followers can compute lag without guessing.
+	ChangeFeed *ChangeFeedHealth `json:"changeFeed,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -467,6 +552,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := s.queryStats()
 		resp.QueryCache = &st
 	}
+	resp.ChangeFeed = s.changeFeedHealth()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -480,9 +566,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Objects:   s.engine.store.NumObjects(),
-		Edges:     s.engine.store.NumEdges(),
-		LogBytes:  s.engine.store.Size(),
-		UptimeSec: int64(time.Since(serverStart).Seconds()),
+		Objects:    s.engine.store.NumObjects(),
+		Edges:      s.engine.store.NumEdges(),
+		LogBytes:   s.engine.store.Size(),
+		UptimeSec:  int64(time.Since(serverStart).Seconds()),
+		ChangeFeed: s.changeFeedHealth(),
 	})
 }

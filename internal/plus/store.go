@@ -381,6 +381,19 @@ func (s *LogBackend) ChangeHorizon() int {
 	return s.changeHorizon
 }
 
+// ChangeWindow reports the resident change-feed window; followers use it
+// (via /v1/stats and healthz) to compute their lag against the oldest
+// position the feed can still serve.
+func (s *LogBackend) ChangeWindow() FeedWindow {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return FeedWindow{
+		Base:    s.changesBase,
+		Depth:   len(s.changes),
+		Horizon: s.changeHorizon,
+	}
+}
+
 // Revision returns a counter that increases with every stored record;
 // equal revisions imply identical store contents (within one process).
 func (s *LogBackend) Revision() uint64 {

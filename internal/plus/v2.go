@@ -228,7 +228,8 @@ func (s *Server) handleV2Sessions(w http.ResponseWriter, r *http.Request) {
 		IssuedAt:     now.Unix(),
 		ExpiresAt:    exp.Unix(),
 	}
-	token, err := s.auth.Keyring.Mint(claims)
+	kr := s.Keyring()
+	token, err := kr.Mint(claims)
 	if err != nil {
 		WriteAPIError(w, v2Errorf(http.StatusInternalServerError, CodeInternal, "%s", err))
 		return
@@ -238,7 +239,7 @@ func (s *Server) handleV2Sessions(w http.ResponseWriter, r *http.Request) {
 		Viewer:       string(viewer),
 		Capabilities: capStrings(caps),
 		ExpiresAt:    claims.ExpiresAt,
-		KeyID:        s.auth.Keyring.Active(),
+		KeyID:        kr.Active(),
 	})
 }
 
@@ -288,6 +289,7 @@ func (s *Server) handleV2Batch(w http.ResponseWriter, r *http.Request) {
 		WriteAPIError(w, v2StoreError(err))
 		return
 	}
+	s.obs.batchRecords.Observe(int64(len(req.Objects) + len(req.Edges) + len(req.Surrogates)))
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Revision:   rev,
 		Cursor:     Cursor{Epoch: s.engine.store.Epoch(), Rev: rev}.Encode(),
@@ -620,7 +622,7 @@ func (s *Server) handleV2Compact(w http.ResponseWriter, r *http.Request) {
 		WriteAPIError(w, apiErr)
 		return
 	}
-	c, ok := s.engine.store.(compactor)
+	c, ok := unwrapBackend(s.engine.store).(compactor)
 	if !ok {
 		WriteAPIError(w, v2Errorf(http.StatusBadRequest, CodeBadRequest,
 			"plus: this backend does not support compaction"))

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/plus"
 	"repro/internal/privilege"
@@ -68,6 +70,11 @@ type Engine struct {
 	views       map[viewKey]*View
 	incremental bool
 	stats       ViewCacheStats
+
+	// obsHooks holds the engine's telemetry handles (SetObservability);
+	// nil means uninstrumented. Atomic so wiring it after construction is
+	// safe while queries are in flight.
+	obsHooks atomic.Pointer[queryObs]
 }
 
 // ViewCacheStats reports the protected-view cache counters.
@@ -123,20 +130,21 @@ func (e *Engine) CacheStats() ViewCacheStats {
 }
 
 // view returns the cached protected view for (current revision, viewer,
-// mode). On miss it first tries to advance the newest cached view of the
-// same (viewer, mode) by the change-feed delta, then falls back to a full
-// build from the snapshot; views of older revisions are evicted.
-func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, error) {
+// mode) and whether it was a cache hit. On miss it first tries to
+// advance the newest cached view of the same (viewer, mode) by the
+// change-feed delta, then falls back to a full build from the snapshot;
+// views of older revisions are evicted.
+func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, bool, error) {
 	sn, err := e.store.Snapshot()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	key := viewKey{rev: sn.Revision(), viewer: viewer, mode: mode}
 	e.mu.Lock()
 	if v, ok := e.views[key]; ok {
 		e.stats.Hits++
 		e.mu.Unlock()
-		return v, nil
+		return v, true, nil
 	}
 	e.stats.Misses++
 	var prev *View
@@ -160,7 +168,7 @@ func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, error)
 			}
 			nv = e.cache(key, nv)
 			e.mu.Unlock()
-			return nv, nil
+			return nv, false, nil
 		}
 		e.mu.Lock()
 		e.stats.Fallbacks++
@@ -169,13 +177,13 @@ func (e *Engine) view(viewer privilege.Predicate, mode plus.Mode) (*View, error)
 
 	v, err := NewView(sn, e.lattice, viewer, mode)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.mu.Lock()
 	e.stats.FullBuilds++
 	v = e.cache(key, v)
 	e.mu.Unlock()
-	return v, nil
+	return v, false, nil
 }
 
 // cache installs a freshly built or advanced view, keeping whichever view
@@ -221,11 +229,12 @@ func (e *Engine) Query(src string, opts Options) (*ResultSet, error) {
 // context is checked before the (possibly expensive) protected-view
 // materialisation and periodically inside the executor's join loop.
 func (e *Engine) QueryContext(ctx context.Context, src string, opts Options) (*ResultSet, error) {
+	t0 := time.Now()
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.RunContext(ctx, q, opts)
+	return e.runTimed(ctx, q, opts, src, time.Since(t0))
 }
 
 // Run plans and executes an already-parsed query.
@@ -235,6 +244,14 @@ func (e *Engine) Run(q *Query, opts Options) (*ResultSet, error) {
 
 // RunContext is Run with cancellation; see QueryContext.
 func (e *Engine) RunContext(ctx context.Context, q *Query, opts Options) (*ResultSet, error) {
+	return e.runTimed(ctx, q, opts, "", 0)
+}
+
+// runTimed evaluates a parsed query, timing each phase; src is the
+// original source text when the caller parsed it here ("" for
+// pre-parsed queries, re-rendered only if the slow-query log wants it).
+func (e *Engine) runTimed(ctx context.Context, q *Query, opts Options, src string, parseD time.Duration) (*ResultSet, error) {
+	t0 := time.Now()
 	viewer := opts.Viewer
 	if viewer == "" {
 		viewer = privilege.Public
@@ -252,20 +269,41 @@ func (e *Engine) RunContext(ctx context.Context, q *Query, opts Options) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("plusql: %w", err)
 	}
-	v, err := e.view(viewer, mode)
+	tView := time.Now()
+	v, hit, err := e.view(viewer, mode)
 	if err != nil {
 		return nil, err
 	}
+	viewD := time.Since(tView)
+	tPlan := time.Now()
 	plan, err := Compile(q, ViewStats(v), opts.Naive)
 	if err != nil {
 		return nil, err
 	}
+	planD := time.Since(tPlan)
+	tExec := time.Now()
 	rs, err := run(ctx, plan, v, opts.MaxRows)
 	if err != nil {
 		return nil, err
 	}
+	t := queryTiming{
+		parse:   parseD,
+		view:    viewD,
+		plan:    planD,
+		exec:    time.Since(tExec),
+		total:   parseD + time.Since(t0),
+		viewHit: hit,
+		rows:    rs.Stats.Rows,
+	}
+	rs.Phases = t.phases()
 	if opts.Explain {
 		rs.Plan = plan.Explain()
+	}
+	if e.obsHooks.Load() != nil {
+		if src == "" {
+			src = q.String()
+		}
+		e.observe(ctx, src, string(viewer), t)
 	}
 	return rs, nil
 }

@@ -37,6 +37,9 @@ type ResultSet struct {
 	// Plan is the executed plan's Explain rendering.
 	Plan  string    `json:"plan,omitempty"`
 	Stats ExecStats `json:"stats"`
+	// Phases is the per-phase timing decomposition, attached by the
+	// engine (nil on bare run() results).
+	Phases *PhaseTimings `json:"phases,omitempty"`
 }
 
 const unboundID = graph.NodeID("")

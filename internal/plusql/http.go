@@ -38,7 +38,9 @@ type QueryResponse struct {
 	Truncated bool      `json:"truncated,omitempty"`
 	Plan      string    `json:"plan,omitempty"`
 	Stats     ExecStats `json:"stats"`
-	TookUS    int64     `json:"tookUs"`
+	// Phases is the engine's per-phase timing decomposition.
+	Phases *PhaseTimings `json:"phases,omitempty"`
+	TookUS int64         `json:"tookUs"`
 }
 
 // serverMaxRows bounds response sizes for unlimited queries over big
@@ -181,6 +183,7 @@ func serveQuery(w http.ResponseWriter, r *http.Request, e *Engine, req QueryRequ
 		Truncated: truncated,
 		Plan:      rs.Plan,
 		Stats:     rs.Stats,
+		Phases:    rs.Phases,
 		TookUS:    time.Since(t0).Microseconds(),
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -195,7 +198,10 @@ func writeQueryError(w http.ResponseWriter, status int, err error) {
 }
 
 // Attach mounts the query endpoints (v1 and principal-scoped v2) on a
-// plus server and wires the view-cache counters into its healthz payload.
+// plus server, wires the view-cache counters into its healthz payload,
+// and — when the server is observable — instruments the engine
+// (plus_plusql_seconds{phase}, slow-query capture) and exposes the
+// view-cache counters as plus_query_view_* metrics.
 func Attach(s *plus.Server, e *Engine) {
 	s.Handle("/v1/query", newV1Handler(e, func(r *http.Request, asserted privilege.Predicate) *plus.APIError {
 		return s.AuthorizeAsserted(r, plus.CapQuery, asserted)
@@ -213,6 +219,28 @@ func Attach(s *plus.Server, e *Engine) {
 			Fallbacks:       st.Fallbacks,
 		}
 	})
+	o := s.Observability()
+	e.SetObservability(o)
+	if reg := o.Registry(); reg != nil {
+		reg.GaugeFunc("plus_query_view_cache_entries",
+			"Live cached protected views.",
+			func() float64 { return float64(e.CacheStats().Views) })
+		reg.CounterFunc("plus_query_view_hits_total",
+			"Protected-view cache hits.",
+			func() float64 { return float64(e.CacheStats().Hits) })
+		reg.CounterFunc("plus_query_view_misses_total",
+			"Protected-view cache misses.",
+			func() float64 { return float64(e.CacheStats().Misses) })
+		reg.CounterFunc("plus_query_view_advanced_total",
+			"Views refreshed in place by a change-feed delta.",
+			func() float64 { return float64(e.CacheStats().Advanced) })
+		reg.CounterFunc("plus_query_view_full_builds_total",
+			"Views built from scratch off a snapshot.",
+			func() float64 { return float64(e.CacheStats().FullBuilds) })
+		reg.CounterFunc("plus_query_view_fallbacks_total",
+			"Advance attempts abandoned for a full build.",
+			func() float64 { return float64(e.CacheStats().Fallbacks) })
+	}
 }
 
 // ClientQuery runs one PLUSQL query against a remote plusd server through

@@ -1,0 +1,150 @@
+package plusql
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+// fullObservability is the most expensive realistic telemetry bundle: a
+// live registry and a slow-query ring whose threshold no benchmark query
+// crosses, so every evaluation pays the histogram and eligibility-check
+// cost without the (rare) ring write.
+func fullObservability() *plus.Observability {
+	return plus.NewObservability(obs.NewRegistry(), obs.NewSlowLog(128, time.Hour), nil)
+}
+
+// obsBenchEngines builds paired engines over one shared motif store:
+// identical except for telemetry. Views/caches are pre-warmed so the
+// measured loop is the steady-state hot path.
+func obsBenchEngines(tb testing.TB) (off, on *Engine, loff, lon *plus.Engine) {
+	tb.Helper()
+	be := motifStore(tb, 5)
+	lat := privilege.TwoLevel()
+	off = NewEngine(be, lat)
+	on = NewEngine(be, lat)
+	on.SetObservability(fullObservability())
+	loff = plus.NewEngine(be, lat)
+	lon = plus.NewEngine(be, lat)
+	lon.SetObservability(fullObservability())
+	for _, e := range []*Engine{off, on} {
+		if _, err := e.Query(benchQuery, Options{}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return off, on, loff, lon
+}
+
+func benchPlusql(b *testing.B, e *Engine) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := e.Query(benchQuery, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Stats.Rows == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func benchLineage(b *testing.B, en *plus.Engine) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := en.Lineage(plus.Request{Start: "t", Direction: graph.Backward})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Account.Graph.NumNodes() == 0 {
+			b.Fatal("empty account")
+		}
+	}
+}
+
+// BenchmarkObsOverhead pairs the PLUSQL and lineage hot paths with and
+// without full instrumentation (registry histograms + slow-query
+// eligibility checks). Compare instrumented vs uninstrumented ns/op —
+// the delta is the telemetry tax; TestObsOverheadGuard pins it <5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	off, on, loff, lon := obsBenchEngines(b)
+	b.Run("plusql/uninstrumented", func(b *testing.B) { benchPlusql(b, off) })
+	b.Run("plusql/instrumented", func(b *testing.B) { benchPlusql(b, on) })
+	b.Run("lineage/uninstrumented", func(b *testing.B) { benchLineage(b, loff) })
+	b.Run("lineage/instrumented", func(b *testing.B) { benchLineage(b, lon) })
+}
+
+// minPerOp runs f in rounds of iters calls and reports the fastest
+// per-op time seen — the minimum is the standard noise-resistant
+// estimator for paired micro-comparisons.
+func minPerOp(rounds, iters int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if d := time.Since(start) / time.Duration(iters); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestObsOverheadGuard pins the acceptance criterion: full
+// instrumentation adds <5% to the PLUSQL and lineage hot paths. Rounds
+// interleave the two variants so CPU-frequency drift hits both equally;
+// the guard takes the best of three attempts before declaring a
+// regression, since shared CI machines jitter more than the real
+// overhead.
+func TestObsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the atomics the hooks use")
+	}
+	off, on, loff, lon := obsBenchEngines(t)
+	paths := []struct {
+		name    string
+		off, on func()
+		rounds  int
+		iters   int
+	}{
+		{
+			name:   "plusql",
+			off:    func() { _, _ = off.Query(benchQuery, Options{}) },
+			on:     func() { _, _ = on.Query(benchQuery, Options{}) },
+			rounds: 5, iters: 200,
+		},
+		{
+			name:   "lineage",
+			off:    func() { _, _ = loff.Lineage(plus.Request{Start: "t", Direction: graph.Backward}) },
+			on:     func() { _, _ = lon.Lineage(plus.Request{Start: "t", Direction: graph.Backward}) },
+			rounds: 5, iters: 20,
+		},
+	}
+	for _, p := range paths {
+		t.Run(p.name, func(t *testing.T) {
+			var best float64 = 1 << 30
+			for attempt := 0; attempt < 3; attempt++ {
+				base := minPerOp(p.rounds, p.iters, p.off)
+				inst := minPerOp(p.rounds, p.iters, p.on)
+				overhead := float64(inst-base) / float64(base)
+				if overhead < best {
+					best = overhead
+				}
+				if best < 0.05 {
+					t.Logf("%s overhead %.2f%% (base %v, instrumented %v)", p.name, overhead*100, base, inst)
+					return
+				}
+			}
+			t.Errorf("%s instrumentation overhead %.2f%%, want <5%%", p.name, best*100)
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package plusql
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/plus"
+	"repro/internal/privilege"
+)
+
+// obsQueryServer is testServer with the full observability stack: a
+// registry, a record-everything slow-query ring, and Attach's engine
+// instrumentation.
+func obsQueryServer(t *testing.T) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	be := exampleBackend(t)
+	lat := privilege.TwoLevel()
+	reg := obs.NewRegistry()
+	o := plus.NewObservability(reg, obs.NewSlowLog(32, 0), nil)
+	srv := plus.NewServer(plus.NewEngine(be, lat), plus.WithObservability(o))
+	Attach(srv, NewEngine(be, lat))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+// postQuery posts one v2 query with a trace header and decodes the
+// response.
+func postQuery(t *testing.T, url, reqID string, req QueryRequest) QueryResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v2/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		hreq.Header.Set(plus.HeaderRequestID, reqID)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v2/query = %d: %s", resp.StatusCode, data)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestQueryPhaseTimingsAndSlowLog: a query's per-phase decomposition
+// rides the response, the repeat hits the view cache, and the slow-query
+// ring ties both to the request's trace ID.
+func TestQueryPhaseTimingsAndSlowLog(t *testing.T) {
+	ts, reg := obsQueryServer(t)
+	const reqID = "feedface00002222"
+	src := `ancestor*(X, "b"), kind(X, data)`
+
+	first := postQuery(t, ts.URL, reqID, QueryRequest{Query: src})
+	if first.Phases == nil {
+		t.Fatal("response missing phases block")
+	}
+	if first.Phases.ViewCacheHit {
+		t.Error("first query claims a view-cache hit")
+	}
+	second := postQuery(t, ts.URL, "", QueryRequest{Query: src})
+	if second.Phases == nil || !second.Phases.ViewCacheHit {
+		t.Errorf("second query phases = %+v, want view-cache hit", second.Phases)
+	}
+
+	sreq, _ := http.NewRequest(http.MethodGet, ts.URL+"/v2/slowlog", nil)
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var entries []obs.SlowEntry
+	if err := json.NewDecoder(sresp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	var hit *obs.SlowEntry
+	for i := range entries {
+		if entries[i].RequestID == reqID {
+			hit = &entries[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no slow-query entry for request id %q (got %+v)", reqID, entries)
+	}
+	if hit.Kind != "plusql" || hit.Query != src {
+		t.Errorf("entry = %+v, want plusql %q", hit, src)
+	}
+	var phaseNames []string
+	for _, p := range hit.Phases {
+		phaseNames = append(phaseNames, p.Name)
+	}
+	if got := strings.Join(phaseNames, ","); got != "parse,view,plan,exec" {
+		t.Errorf("phases = %s, want parse,view,plan,exec", got)
+	}
+	if hit.Rows != first.Stats.Rows {
+		t.Errorf("entry rows = %d, want %d", hit.Rows, first.Stats.Rows)
+	}
+
+	var sawPhase, sawViews bool
+	for _, f := range reg.Gather() {
+		switch f.Name {
+		case "plus_plusql_seconds":
+			sawPhase = len(f.Series) > 0
+		case "plus_query_view_hits_total":
+			sawViews = len(f.Series) == 1 && f.Series[0].Value >= 1
+		}
+	}
+	if !sawPhase || !sawViews {
+		t.Errorf("registry missing plusql series: phase=%v views=%v", sawPhase, sawViews)
+	}
+}
+
+// TestUninstrumentedEngineStaysQuiet: without Attach/SetObservability the
+// engine must not pay for telemetry — and must still answer with phases.
+func TestUninstrumentedEngineStaysQuiet(t *testing.T) {
+	be := exampleBackend(t)
+	e := NewEngine(be, privilege.TwoLevel())
+	rs, err := e.Query(`ancestor*(X, "b")`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Phases == nil {
+		t.Fatal("uninstrumented result missing phases")
+	}
+	if e.obsHooks.Load() != nil {
+		t.Error("fresh engine has telemetry hooks")
+	}
+	// Wiring an inert bundle (no registry, no slow log) keeps hooks off.
+	e.SetObservability(plus.NewObservability(nil, nil, nil))
+	if e.obsHooks.Load() != nil {
+		t.Error("inert observability installed hooks")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package plusql
+
+const raceEnabled = false

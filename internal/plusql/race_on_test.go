@@ -1,0 +1,8 @@
+//go:build race
+
+package plusql
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation multiplies the cost of the atomics the telemetry
+// hooks use and makes relative-overhead timing meaningless.
+const raceEnabled = true

@@ -201,6 +201,9 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 	} else if c.viewer != "" {
 		req.Header.Set(plus.HeaderViewer, c.viewer)
 	}
+	if id := RequestIDFrom(ctx); id != "" {
+		req.Header.Set(plus.HeaderRequestID, id)
+	}
 	return req, nil
 }
 
@@ -248,6 +251,9 @@ func (c *Client) mintWith(ctx context.Context, token string, req plus.SessionReq
 		hreq.Header.Set(plus.HeaderSession, token)
 	} else if c.viewer != "" {
 		hreq.Header.Set(plus.HeaderViewer, c.viewer)
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		hreq.Header.Set(plus.HeaderRequestID, id)
 	}
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
