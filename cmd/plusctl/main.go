@@ -165,6 +165,15 @@ func printStatus(w *os.File, h plus.HealthzResponse) error {
 		fmt.Fprintf(tw, "  refresh\t%d advanced, %d advance-rebuilds, %d full builds, %d fallbacks\n",
 			qc.Advanced, qc.AdvanceRebuilds, qc.FullBuilds, qc.Fallbacks)
 	}
+	if ix := h.Index; ix != nil {
+		fmt.Fprintf(tw, "indexes\t%d kind, %d name, %d attr entries (rev %d)\n",
+			ix.KindEntries, ix.NameEntries, ix.AttrEntries, ix.Rev)
+		fmt.Fprintf(tw, "  probes\t%d hits, %d misses, %d advances, %d rebuilds\n",
+			ix.Hits, ix.Misses, ix.Advances, ix.Rebuilds)
+	}
+	if in := h.Intern; in != nil {
+		fmt.Fprintf(tw, "intern table\t%d strings, %d bytes\n", in.Strings, in.Bytes)
+	}
 	return tw.Flush()
 }
 

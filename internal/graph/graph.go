@@ -12,6 +12,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/intern"
 )
 
 // NodeID identifies a node within one graph. IDs are opaque strings chosen
@@ -59,6 +61,22 @@ func (f Features) Equal(g Features) bool {
 		}
 	}
 	return true
+}
+
+// Interned returns an independent copy of the feature map whose keys and
+// values are the canonical interned strings (intern.Canon): value-equal to
+// the originals, but every graph holding the same attribute or value
+// shares one backing array, and each carries a symbol for integer
+// comparison in the secondary indexes.
+func (f Features) Interned() Features {
+	if f == nil {
+		return nil
+	}
+	out := make(Features, len(f))
+	for k, v := range f {
+		out[intern.Canon(k)] = intern.Canon(v)
+	}
+	return out
 }
 
 // Keys returns the attribute names in sorted order.
@@ -123,9 +141,11 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // AddNode inserts a node, replacing any node with the same ID. The node's
-// feature map is copied.
+// feature map is copied, with keys and values canonicalised through the
+// global intern table so every graph shares one backing string per
+// distinct attribute or value.
 func (g *Graph) AddNode(n Node) {
-	n.Features = n.Features.Clone()
+	n.Features = n.Features.Interned()
 	g.nodes[n.ID] = n
 	if _, ok := g.out[n.ID]; !ok {
 		g.out[n.ID] = nil

@@ -1,0 +1,181 @@
+// Package intern implements a global two-way string <-> symbol table for
+// the storage and query layers: node kinds, names and feature keys/values
+// repeat massively across a provenance graph, so they are mapped to small
+// integer symbols once at ingest and compared as ints ever after. Interning
+// also canonicalises the strings themselves — every copy of "invocation"
+// in every snapshot, spec and account clone shares one backing array —
+// which is where the resident-memory cut on million-node graphs comes
+// from.
+//
+// The table is insert-only and sharded: lookups of already-interned
+// strings take one shard read-lock, and distinct shards never contend.
+// Two entry points matter for correctness:
+//
+//   - builders (backends at ingest, index construction) call S or Canon,
+//     which insert on miss, so every stored string has a symbol;
+//   - query paths call Lookup, which never inserts, so an unknown query
+//     constant stays a cheap miss instead of growing the table.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sym is an interned string's integer identity. Two strings are equal iff
+// their symbols are equal (within one Table). The zero symbol None is the
+// empty string.
+type Sym uint32
+
+// None is the symbol of the empty string (and the zero value of Sym).
+const None Sym = 0
+
+const numShards = 64
+
+type entry struct {
+	sym Sym
+	// str is the canonical backing copy of the interned string; Canon
+	// hands it out so callers' duplicates become garbage.
+	str string
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	syms map[string]entry
+}
+
+// Table is one two-way intern table. The zero value is not usable; use
+// NewTable. Methods are safe for concurrent use.
+type Table struct {
+	shards [numShards]shard
+
+	// mu guards strs, the sym -> string direction. strs[0] is always "".
+	mu   sync.RWMutex
+	strs []string
+
+	bytes atomic.Int64
+}
+
+// NewTable returns an empty table (the empty string is pre-interned as
+// None).
+func NewTable() *Table {
+	t := &Table{strs: []string{""}}
+	for i := range t.shards {
+		t.shards[i].syms = make(map[string]entry)
+	}
+	return t
+}
+
+// fnv1a is the shard hash; a fixed function (not a per-process seed) so
+// the shard of a string is stable and cheap.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (t *Table) shardFor(s string) *shard {
+	return &t.shards[fnv1a(s)%numShards]
+}
+
+// intern returns the entry for s, inserting it on first sight.
+func (t *Table) intern(s string) entry {
+	if s == "" {
+		return entry{sym: None, str: ""}
+	}
+	sh := t.shardFor(s)
+	sh.mu.RLock()
+	e, ok := sh.syms[s]
+	sh.mu.RUnlock()
+	if ok {
+		return e
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok = sh.syms[s]; ok {
+		return e
+	}
+	// Materialise a private backing copy so the canonical string never
+	// pins a caller's larger buffer.
+	canon := string(append([]byte(nil), s...))
+	t.mu.Lock()
+	sym := Sym(len(t.strs))
+	t.strs = append(t.strs, canon)
+	t.mu.Unlock()
+	e = entry{sym: sym, str: canon}
+	sh.syms[canon] = e
+	t.bytes.Add(int64(len(canon)))
+	return e
+}
+
+// S interns s and returns its symbol, assigning one on first sight.
+func (t *Table) S(s string) Sym { return t.intern(s).sym }
+
+// Canon interns s and returns the canonical backing copy: value-equal to
+// s, shared by every other holder of the same interned string.
+func (t *Table) Canon(s string) string { return t.intern(s).str }
+
+// Lookup returns the symbol of s if it has ever been interned. It never
+// inserts — the query-side entry point, so probing for constants that do
+// not occur in any stored record cannot grow the table.
+func (t *Table) Lookup(s string) (Sym, bool) {
+	if s == "" {
+		return None, true
+	}
+	sh := t.shardFor(s)
+	sh.mu.RLock()
+	e, ok := sh.syms[s]
+	sh.mu.RUnlock()
+	return e.sym, ok
+}
+
+// Str returns the string a symbol stands for ("" for None or an unknown
+// symbol).
+func (t *Table) Str(sym Sym) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(sym) >= len(t.strs) {
+		return ""
+	}
+	return t.strs[sym]
+}
+
+// Count reports how many distinct non-empty strings are interned.
+func (t *Table) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.strs) - 1
+}
+
+// Bytes reports the total length in bytes of the distinct interned
+// strings — the resident cost of the table's string data (map and slice
+// overhead excluded).
+func (t *Table) Bytes() int64 { return t.bytes.Load() }
+
+// Pair packs two symbols into one comparable key; the (attribute key,
+// attribute value) composite the secondary indexes are keyed by.
+func Pair(k, v Sym) uint64 { return uint64(k)<<32 | uint64(v) }
+
+// Default is the process-wide table the storage and query layers share.
+var Default = NewTable()
+
+// S interns s in the default table.
+func S(s string) Sym { return Default.S(s) }
+
+// Canon interns s in the default table and returns the canonical copy.
+func Canon(s string) string { return Default.Canon(s) }
+
+// Lookup probes the default table without inserting.
+func Lookup(s string) (Sym, bool) { return Default.Lookup(s) }
+
+// Str resolves a symbol of the default table.
+func Str(sym Sym) string { return Default.Str(sym) }
+
+// Count reports the default table's distinct string count.
+func Count() int { return Default.Count() }
+
+// Bytes reports the default table's interned string bytes.
+func Bytes() int64 { return Default.Bytes() }

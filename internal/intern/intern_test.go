@@ -1,0 +1,154 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tb := NewTable()
+	a := tb.S("data")
+	b := tb.S("invocation")
+	if a == b {
+		t.Fatalf("distinct strings got one symbol %d", a)
+	}
+	if got := tb.S("data"); got != a {
+		t.Fatalf("re-intern of data = %d, want %d", got, a)
+	}
+	if got := tb.Str(a); got != "data" {
+		t.Fatalf("Str(%d) = %q, want data", a, got)
+	}
+	if got := tb.Str(b); got != "invocation" {
+		t.Fatalf("Str(%d) = %q, want invocation", b, got)
+	}
+	if n := tb.Count(); n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+	if got := tb.Bytes(); got != int64(len("data")+len("invocation")) {
+		t.Fatalf("Bytes = %d", got)
+	}
+}
+
+func TestEmptyStringIsNone(t *testing.T) {
+	tb := NewTable()
+	if got := tb.S(""); got != None {
+		t.Fatalf("S(\"\") = %d, want None", got)
+	}
+	if got := tb.Str(None); got != "" {
+		t.Fatalf("Str(None) = %q, want empty", got)
+	}
+	sym, ok := tb.Lookup("")
+	if !ok || sym != None {
+		t.Fatalf("Lookup(\"\") = %d, %v", sym, ok)
+	}
+	if tb.Count() != 0 {
+		t.Fatalf("empty string counted: %d", tb.Count())
+	}
+}
+
+func TestLookupNeverInserts(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.Lookup("ghost"); ok {
+		t.Fatal("Lookup found a string never interned")
+	}
+	if tb.Count() != 0 {
+		t.Fatalf("Lookup grew the table to %d", tb.Count())
+	}
+	tb.S("ghost")
+	if sym, ok := tb.Lookup("ghost"); !ok || sym == None {
+		t.Fatalf("Lookup after intern = %d, %v", sym, ok)
+	}
+}
+
+func TestCanonSharesBacking(t *testing.T) {
+	tb := NewTable()
+	c1 := tb.Canon("alice")
+	c2 := tb.Canon("al" + "ice"[0:3])
+	if c1 != "alice" || c2 != "alice" {
+		t.Fatalf("canon values wrong: %q %q", c1, c2)
+	}
+	// The canonical copies must be the same string header data; Go can't
+	// observe pointer identity portably, but the symbol identity proves
+	// both resolved to one entry.
+	s1, _ := tb.Lookup(c1)
+	s2, _ := tb.Lookup(c2)
+	if s1 != s2 {
+		t.Fatalf("canon copies have different symbols %d %d", s1, s2)
+	}
+}
+
+func TestStrUnknownSymbol(t *testing.T) {
+	tb := NewTable()
+	if got := tb.Str(Sym(99)); got != "" {
+		t.Fatalf("Str(unknown) = %q, want empty", got)
+	}
+}
+
+func TestPair(t *testing.T) {
+	if Pair(1, 2) == Pair(2, 1) {
+		t.Fatal("Pair is symmetric; key and value must not commute")
+	}
+	if Pair(0, 7) == Pair(7, 0) {
+		t.Fatal("Pair collides across positions")
+	}
+}
+
+// TestConcurrentIntern hammers one table from many goroutines over an
+// overlapping key space; run under -race in CI.
+func TestConcurrentIntern(t *testing.T) {
+	tb := NewTable()
+	const workers = 8
+	const keys = 512
+	var wg sync.WaitGroup
+	results := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms := make([]Sym, keys)
+			for i := 0; i < keys; i++ {
+				syms[i] = tb.S(fmt.Sprintf("k%d", i))
+				if _, ok := tb.Lookup(fmt.Sprintf("k%d", i)); !ok {
+					t.Errorf("worker %d: lookup miss after intern", w)
+					return
+				}
+			}
+			results[w] = syms
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d disagreed on symbol of k%d", w, i)
+			}
+		}
+	}
+	if tb.Count() != keys {
+		t.Fatalf("Count = %d, want %d", tb.Count(), keys)
+	}
+	for i := 0; i < keys; i++ {
+		if tb.Str(results[0][i]) != fmt.Sprintf("k%d", i) {
+			t.Fatalf("reverse lookup of k%d wrong", i)
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tb := NewTable()
+	tb.S("invocation")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.S("invocation")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := NewTable()
+	tb.S("invocation")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup("invocation")
+	}
+}

@@ -199,6 +199,32 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.registerFunc(name, help, TypeCounter, fn)
 }
 
+// GaugeFuncVec is a labeled family of render-time gauges: each label
+// tuple carries its own callback (e.g. plus_index_entries{index=...}).
+type GaugeFuncVec struct{ f *family }
+
+// GaugeFuncVec registers (or finds) a func-gauge family with a fixed
+// label set; Register attaches per-tuple callbacks.
+func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeFuncVec{f: r.familyFor(name, help, TypeGauge, 1, labels)}
+}
+
+// Register binds the series for these label values to a render-time
+// callback, replacing any previous one. A nil receiver or callback is a
+// no-op.
+func (g *GaugeFuncVec) Register(fn func() float64, labelValues ...string) {
+	if g == nil || fn == nil {
+		return
+	}
+	s := g.f.seriesFor(labelValues, func() *series { return &series{} })
+	g.f.mu.Lock()
+	s.fn = fn
+	g.f.mu.Unlock()
+}
+
 func (r *Registry) registerFunc(name, help string, typ MetricType, fn func() float64) {
 	if r == nil || fn == nil {
 		return

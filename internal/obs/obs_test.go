@@ -37,6 +37,32 @@ func TestCounterAndGauge(t *testing.T) {
 	}
 }
 
+func TestGaugeFuncVec(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	gv := r.GaugeFuncVec("idx_entries", "per-index entries", "index")
+	gv.Register(func() float64 { return v }, "kind")
+	gv.Register(func() float64 { return 2 * v }, "name")
+	fams := r.Gather()
+	if len(fams) != 1 || len(fams[0].Series) != 2 {
+		t.Fatalf("gather = %+v, want one family with two series", fams)
+	}
+	// Series are sorted by label value: kind before name.
+	if s := fams[0].Series[0]; s.Labels[0].Value != "kind" || s.Value != 7 {
+		t.Fatalf("series[0] = %+v, want kind=7", s)
+	}
+	if s := fams[0].Series[1]; s.Labels[0].Value != "name" || s.Value != 14 {
+		t.Fatalf("series[1] = %+v, want name=14", s)
+	}
+	// Callbacks are read at render time, and re-registration replaces.
+	v = 9
+	gv.Register(func() float64 { return -1 }, "name")
+	fams = r.Gather()
+	if fams[0].Series[0].Value != 9 || fams[0].Series[1].Value != -1 {
+		t.Fatalf("re-gather = %+v, want kind=9 name=-1", fams[0].Series)
+	}
+}
+
 func TestNilSafety(t *testing.T) {
 	var r *Registry
 	// Every accessor and the handles it returns must be callable on nil.
@@ -47,6 +73,7 @@ func TestNilSafety(t *testing.T) {
 	r.HistogramVec("hv", "", 1, "l").With("v").ObserveSince(time.Now())
 	r.GaugeFunc("gf", "", func() float64 { return 1 })
 	r.CounterFunc("cf", "", func() float64 { return 1 })
+	r.GaugeFuncVec("gfv", "", "l").Register(func() float64 { return 1 }, "v")
 	if fams := r.Gather(); fams != nil {
 		t.Fatalf("nil registry Gather = %v, want nil", fams)
 	}

@@ -103,6 +103,11 @@ type Snapshot struct {
 	// source is the backend the snapshot was cloned from; DeltaSince
 	// reads the change feed through it.
 	source Backend
+
+	// idx is the owning backend's live secondary index (shared by every
+	// snapshot of that backend); nil for hand-built snapshots, in which
+	// case FindBy* scan. See index.go.
+	idx *backendIndex
 }
 
 // Revision reports the backend revision this snapshot was taken at.

@@ -55,6 +55,7 @@ type cacheEntry struct {
 
 type cacheKey struct {
 	start     string
+	startName string
 	direction graph.Direction
 	depth     int
 	viewer    privilege.Predicate
@@ -133,6 +134,7 @@ func (ce *CachedEngine) LineageContext(ctx context.Context, req Request) (*Resul
 	}
 	key := cacheKey{
 		start:     req.Start,
+		startName: req.StartName,
 		direction: req.Direction,
 		depth:     req.Depth,
 		viewer:    req.Viewer,

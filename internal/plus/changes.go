@@ -83,6 +83,49 @@ func (d *Delta) Touched() map[string]bool {
 	return out
 }
 
+// changeWalker is implemented by backends that can stream their retained
+// change feed in place. Unlike ChangesSince it neither copies the Change
+// records nor merge-sorts them: visit observes each change with revision
+// in (since, upTo] exactly once, in revision order PER PRIMARY ID but in
+// unspecified order across ids. The pointer passed to visit is only valid
+// for the duration of the call. When part of the window has been evicted
+// the walk fails with ErrTooFarBehind — possibly after visiting some
+// changes, so callers must treat any error as "discard partial work and
+// rebuild".
+type changeWalker interface {
+	walkChangesSince(since, upTo uint64, visit func(*Change)) error
+}
+
+// walkObjectChanges streams the object changes applied after revision
+// since, up to the snapshot's revision, into visit. It is the allocation-
+// free sibling of DeltaSince for consumers — like the secondary index —
+// that only fold per-object state and don't care about cross-object
+// ordering: when the source backend supports in-place walking, nothing is
+// copied and nothing is sorted. On any feed hazard (ErrTooFarBehind,
+// missing source) the caller must discard partial work and rebuild.
+func (sn *Snapshot) walkObjectChanges(since uint64, visit func(Object)) error {
+	if since > sn.rev {
+		return errFutureRevision(since, sn.rev)
+	}
+	if w, ok := sn.source.(changeWalker); ok {
+		return w.walkChangesSince(since, sn.rev, func(c *Change) {
+			if c.Kind == ChangeObject {
+				visit(c.Object)
+			}
+		})
+	}
+	d, err := sn.DeltaSince(since)
+	if err != nil {
+		return err
+	}
+	for i := range d.Changes {
+		if d.Changes[i].Kind == ChangeObject {
+			visit(d.Changes[i].Object)
+		}
+	}
+	return nil
+}
+
 // DeltaSince returns the changes applied after revision since, up to this
 // snapshot's revision, drawn from the backend the snapshot was taken of.
 // It fails with ErrTooFarBehind when the backend no longer retains the

@@ -83,6 +83,7 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("ChangesContiguous", func(t *testing.T) { conformChangesContiguous(t, h) })
 			t.Run("ChangesMatchSnapshotDiff", func(t *testing.T) { conformChangesSnapshotDiff(t, h) })
 			t.Run("ChangesErrors", func(t *testing.T) { conformChangesErrors(t, h) })
+			t.Run("WalkMatchesChanges", func(t *testing.T) { conformWalkChanges(t, h) })
 			t.Run("LineageEngine", func(t *testing.T) { conformLineage(t, h) })
 			t.Run("OPMRoundTrip", func(t *testing.T) { conformOPM(t, h) })
 			if h.reopen != nil {
@@ -313,6 +314,99 @@ func conformChangesSnapshotDiff(t *testing.T, h backendHarness) {
 }
 
 // conformChangesErrors: the feed fails cleanly after Close.
+// conformWalkChanges: the zero-copy walk visits exactly the changes the
+// materialized feed reports — each revision once, same-id changes in
+// revision order — honours the upTo bound, and reports an evicted window
+// as ErrTooFarBehind.
+func conformWalkChanges(t *testing.T, h backendHarness) {
+	b, _ := h.open(t)
+	w, ok := b.(changeWalker)
+	if !ok {
+		t.Fatalf("%T does not implement changeWalker", b)
+	}
+	seedChain(t, b, "a", "b", "c") // 3 objects + 2 edges
+	if err := b.PutSurrogate(SurrogateSpec{ForID: "b", ID: "b'", Name: "anon", InfoScore: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutObject(Object{ID: "a", Kind: Data, Name: "a v2"}); err != nil {
+		t.Fatal(err)
+	}
+	rev := b.Revision()
+
+	collect := func(since, upTo uint64) map[uint64]Change {
+		t.Helper()
+		got := map[uint64]Change{}
+		err := w.walkChangesSince(since, upTo, func(c *Change) {
+			if _, dup := got[c.Rev]; dup {
+				t.Fatalf("revision %d visited twice", c.Rev)
+			}
+			got[c.Rev] = *c
+		})
+		if err != nil {
+			t.Fatalf("walkChangesSince(%d, %d): %v", since, upTo, err)
+		}
+		return got
+	}
+
+	want, err := b.ChangesSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(0, rev)
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d changes, ChangesSince reports %d", len(got), len(want))
+	}
+	for _, c := range want {
+		g, visited := got[c.Rev]
+		if !visited {
+			t.Fatalf("revision %d not visited", c.Rev)
+		}
+		if g.Kind != c.Kind || g.Object.ID != c.Object.ID || g.Object.Name != c.Object.Name ||
+			g.Edge != c.Edge || g.Surrogate.ID != c.Surrogate.ID {
+			t.Errorf("revision %d: walk saw %+v, feed reports %+v", c.Rev, g, c)
+		}
+	}
+
+	// The upTo bound truncates, and an empty window visits nothing.
+	mid := collect(2, 5)
+	if len(mid) != 3 {
+		t.Fatalf("walk of (2, 5] visited %d changes, want 3", len(mid))
+	}
+	for r := uint64(3); r <= 5; r++ {
+		if _, visited := mid[r]; !visited {
+			t.Errorf("walk of (2, 5] missed revision %d", r)
+		}
+	}
+	if empty := collect(rev, rev); len(empty) != 0 {
+		t.Errorf("walk of the empty window visited %d changes", len(empty))
+	}
+
+	// Changes to one id arrive in revision order (here: the store of "a"
+	// before its replacement).
+	var aRevs []uint64
+	if err := w.walkChangesSince(0, rev, func(c *Change) {
+		if c.Kind == ChangeObject && c.Object.ID == "a" {
+			aRevs = append(aRevs, c.Rev)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(aRevs) != 2 || aRevs[0] >= aRevs[1] {
+		t.Errorf("changes of %q visited at revisions %v, want two in order", "a", aRevs)
+	}
+
+	if err := w.walkChangesSince(rev+1, rev+1, func(*Change) {}); err == nil {
+		t.Error("future since accepted")
+	}
+
+	// An evicted window must surface as ErrTooFarBehind, the rebuild
+	// signal.
+	b.(interface{ SetChangeHorizon(int) }).SetChangeHorizon(1)
+	if err := w.walkChangesSince(0, rev, func(*Change) {}); !errors.Is(err, ErrTooFarBehind) {
+		t.Errorf("walk over the evicted window = %v, want ErrTooFarBehind", err)
+	}
+}
+
 func conformChangesErrors(t *testing.T, h backendHarness) {
 	b, _ := h.open(t)
 	seedChain(t, b, "a", "b")

@@ -34,6 +34,36 @@ func TestHealthzHandler(t *testing.T) {
 	if h.Revision != s.Revision() {
 		t.Errorf("healthz revision = %d, want %d", h.Revision, s.Revision())
 	}
+	// The probe reports the secondary indexes and the intern table. The
+	// index is built lazily, so probe it first.
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sn.FindByName("obj a"); len(got) != 1 {
+		t.Fatalf("FindByName = %v, want [a]", got)
+	}
+	resp3, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var hIdx HealthzResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&hIdx); err != nil {
+		t.Fatal(err)
+	}
+	if hIdx.Index == nil {
+		t.Fatal("healthz missing index section on an indexing backend")
+	}
+	if ix := hIdx.Index; ix.KindEntries != 3 || ix.NameEntries != 3 || ix.Rev != s.Revision() {
+		t.Errorf("healthz index = %+v, want 3 kind / 3 name entries at rev %d", ix, s.Revision())
+	}
+	if hIdx.Index.Hits == 0 {
+		t.Error("healthz index reports no hits after an indexed probe")
+	}
+	if hIdx.Intern == nil || hIdx.Intern.Strings == 0 || hIdx.Intern.Bytes == 0 {
+		t.Errorf("healthz intern = %+v, want non-empty table", hIdx.Intern)
+	}
 
 	// Method discipline.
 	post, err := http.Post(srv.URL+"/v1/healthz", "application/json", nil)

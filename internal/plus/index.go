@@ -1,0 +1,362 @@
+package plus
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/intern"
+)
+
+// This file implements the persistent secondary indexes of the storage
+// layer: kind -> object ids, name -> object ids and (attr key, attr
+// value) -> object ids, all keyed by interned symbols so a probe is one
+// map lookup on an integer instead of a linear scan comparing strings.
+//
+// Each backend owns ONE live backendIndex, maintained lazily: queries go
+// through Snapshot.FindByKind/FindByName/FindByAttr, and the first probe
+// at a new revision advances the index by replaying the change feed
+// (Snapshot.DeltaSince) from the revision it last covered. When the feed
+// has aged out (ErrTooFarBehind) — or anything else goes wrong with the
+// delta — the index is rebuilt in full from the probing snapshot, the
+// same resync escape hatch every other change-feed consumer uses. Ingest
+// itself never touches the index, so batch-load throughput is unchanged
+// and index upkeep is billed to the queries that benefit from it.
+//
+// A probe from a snapshot OLDER than the index (a reader holding a stale
+// snapshot while newer queries advanced the index) cannot be answered
+// from the postings — entries added after the old snapshot would leak in.
+// Those probes fall back to a linear scan of the probing snapshot and are
+// counted as index misses.
+
+// indexRow is what the index remembers about one live object: enough to
+// unpublish its old postings when a replacement arrives on the feed.
+type indexRow struct {
+	kind  intern.Sym
+	name  intern.Sym
+	attrs []uint64 // intern.Pair(key, value) per feature
+}
+
+func rowFor(o Object) indexRow {
+	row := indexRow{
+		kind: intern.S(string(o.Kind)),
+		name: intern.S(o.Name),
+	}
+	if len(o.Features) > 0 {
+		row.attrs = make([]uint64, 0, len(o.Features))
+		for k, v := range o.Features {
+			row.attrs = append(row.attrs, intern.Pair(intern.S(k), intern.S(v)))
+		}
+	}
+	return row
+}
+
+func (r indexRow) equal(s indexRow) bool {
+	if r.kind != s.kind || r.name != s.name || len(r.attrs) != len(s.attrs) {
+		return false
+	}
+	// Feature maps are tiny; quadratic membership is cheaper than sorting.
+	for _, p := range r.attrs {
+		found := false
+		for _, q := range s.attrs {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// IndexStats is a point-in-time report of one backend's secondary-index
+// state, surfaced through /v1/healthz, plusctl status and the metrics
+// registry.
+type IndexStats struct {
+	// Rev is the revision the index currently covers.
+	Rev uint64 `json:"rev"`
+	// KindEntries/NameEntries/AttrEntries count postings per index (an
+	// object contributes one kind entry, one name entry when named, and
+	// one attr entry per feature pair).
+	KindEntries int `json:"kindEntries"`
+	NameEntries int `json:"nameEntries"`
+	AttrEntries int `json:"attrEntries"`
+	// Hits counts probes answered from the index; Misses counts probes
+	// that fell back to a linear scan (stale snapshot, or no index).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Advances counts incremental catch-ups through the change feed;
+	// Builds the initial constructions; Rebuilds the hazard resyncs
+	// (ErrTooFarBehind and friends).
+	Advances uint64 `json:"advances"`
+	Builds   uint64 `json:"builds"`
+	Rebuilds uint64 `json:"rebuilds"`
+}
+
+// backendIndex is the live secondary index of one backend. Probes take
+// the read lock when the index already covers the probing snapshot's
+// revision; the first probe at a newer revision takes the write lock and
+// advances. Postings are unordered (consumers needing determinism sort).
+type backendIndex struct {
+	mu     sync.RWMutex
+	built  bool
+	rev    uint64
+	byKind map[intern.Sym][]string
+	byName map[intern.Sym][]string
+	byAttr map[uint64][]string
+	rows   map[string]indexRow
+
+	attrEntries int // total feature pairs indexed
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	advances atomic.Uint64
+	builds   atomic.Uint64
+	rebuilds atomic.Uint64
+}
+
+func newBackendIndex() *backendIndex { return &backendIndex{} }
+
+func (ix *backendIndex) stats() IndexStats {
+	ix.mu.RLock()
+	st := IndexStats{
+		Rev:         ix.rev,
+		KindEntries: len(ix.rows),
+		NameEntries: 0,
+		AttrEntries: ix.attrEntries,
+	}
+	for _, ids := range ix.byName {
+		st.NameEntries += len(ids)
+	}
+	ix.mu.RUnlock()
+	st.Hits = ix.hits.Load()
+	st.Misses = ix.misses.Load()
+	st.Advances = ix.advances.Load()
+	st.Builds = ix.builds.Load()
+	st.Rebuilds = ix.rebuilds.Load()
+	return st
+}
+
+// lookup answers one probe against the index at sn's revision, advancing
+// the index first if it is behind. The read callback runs under the
+// index lock and must only read the postings maps; lookup returns a
+// private copy of its result. ok=false means the index cannot serve this
+// snapshot (it is ahead of it) and the caller must scan.
+func (ix *backendIndex) lookup(sn *Snapshot, read func() []string) (ids []string, ok bool) {
+	ix.mu.RLock()
+	if ix.built && ix.rev == sn.rev {
+		ids = append([]string(nil), read()...)
+		ix.mu.RUnlock()
+		ix.hits.Add(1)
+		return ids, true
+	}
+	ahead := ix.built && ix.rev > sn.rev
+	ix.mu.RUnlock()
+	if ahead {
+		ix.misses.Add(1)
+		return nil, false
+	}
+	ix.mu.Lock()
+	if !ix.built || ix.rev < sn.rev {
+		ix.advanceLocked(sn)
+	}
+	if ix.rev != sn.rev {
+		// Another probe advanced past us between the unlock and relock.
+		ix.mu.Unlock()
+		ix.misses.Add(1)
+		return nil, false
+	}
+	ids = append([]string(nil), read()...)
+	ix.mu.Unlock()
+	ix.hits.Add(1)
+	return ids, true
+}
+
+// advanceLocked brings the index up to sn's revision: incrementally via
+// the change feed when possible, by full rebuild from sn on the first
+// build or on any feed hazard (ErrTooFarBehind, epoch rewrite, missing
+// source). Caller holds the write lock.
+func (ix *backendIndex) advanceLocked(sn *Snapshot) {
+	if !ix.built {
+		ix.rebuildLocked(sn)
+		ix.builds.Add(1)
+		return
+	}
+	// The walk skips the []Change materialization and merge-sort of
+	// DeltaSince: edges and surrogates don't carry kind/name/attr
+	// postings, and applyObjectLocked only needs per-object revision
+	// order, which the walk guarantees. A failed walk may have applied a
+	// partial delta; the rebuild below discards it wholesale.
+	if err := sn.walkObjectChanges(ix.rev, ix.applyObjectLocked); err != nil {
+		ix.rebuildLocked(sn)
+		ix.rebuilds.Add(1)
+		return
+	}
+	ix.rev = sn.rev
+	ix.advances.Add(1)
+}
+
+func (ix *backendIndex) rebuildLocked(sn *Snapshot) {
+	n := len(sn.objects)
+	ix.byKind = make(map[intern.Sym][]string, 8)
+	ix.byName = make(map[intern.Sym][]string, n)
+	ix.byAttr = make(map[uint64][]string, n)
+	ix.rows = make(map[string]indexRow, n)
+	ix.attrEntries = 0
+	for id, o := range sn.objects {
+		row := rowFor(o)
+		ix.rows[id] = row
+		ix.publishLocked(id, row)
+	}
+	ix.rev = sn.rev
+	ix.built = true
+}
+
+// applyObjectLocked folds one object store/replace from the change feed
+// into the postings.
+func (ix *backendIndex) applyObjectLocked(o Object) {
+	row := rowFor(o)
+	if old, existed := ix.rows[o.ID]; existed {
+		if old.equal(row) {
+			return
+		}
+		ix.unpublishLocked(o.ID, old)
+	}
+	ix.rows[o.ID] = row
+	ix.publishLocked(o.ID, row)
+}
+
+func (ix *backendIndex) publishLocked(id string, row indexRow) {
+	ix.byKind[row.kind] = append(ix.byKind[row.kind], id)
+	if row.name != intern.None {
+		ix.byName[row.name] = append(ix.byName[row.name], id)
+	}
+	for _, p := range row.attrs {
+		ix.byAttr[p] = append(ix.byAttr[p], id)
+	}
+	ix.attrEntries += len(row.attrs)
+}
+
+func (ix *backendIndex) unpublishLocked(id string, row indexRow) {
+	ix.byKind[row.kind] = removeID(ix.byKind[row.kind], id)
+	if row.name != intern.None {
+		ix.byName[row.name] = removeID(ix.byName[row.name], id)
+	}
+	for _, p := range row.attrs {
+		ix.byAttr[p] = removeID(ix.byAttr[p], id)
+	}
+	ix.attrEntries -= len(row.attrs)
+}
+
+// removeID swap-deletes the first occurrence of id (postings are
+// unordered).
+func removeID(ids []string, id string) []string {
+	for i, x := range ids {
+		if x == id {
+			ids[i] = ids[len(ids)-1]
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}
+
+// FindByKind returns the ids of the snapshot's objects with the given
+// kind, in unspecified order. Served from the backend's secondary index
+// when it covers this snapshot's revision; otherwise (stale snapshot,
+// index-less snapshot) a linear scan, counted as an index miss.
+func (sn *Snapshot) FindByKind(kind string) []string {
+	if ix := sn.idx; ix != nil {
+		sym, known := intern.Lookup(kind)
+		if !known {
+			// Never interned: no stored record anywhere carries this
+			// string, so no object in this snapshot can match.
+			ix.hits.Add(1)
+			return nil
+		}
+		if ids, ok := ix.lookup(sn, func() []string { return ix.byKind[sym] }); ok {
+			return ids
+		}
+	}
+	var out []string
+	for id, o := range sn.objects {
+		if string(o.Kind) == kind {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FindByName returns the ids of the snapshot's objects with the given
+// (non-empty) name, in unspecified order; see FindByKind for the serving
+// strategy.
+func (sn *Snapshot) FindByName(name string) []string {
+	if name == "" {
+		// Unnamed objects are not indexed; scan for them.
+		var out []string
+		for id, o := range sn.objects {
+			if o.Name == "" {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	if ix := sn.idx; ix != nil {
+		sym, known := intern.Lookup(name)
+		if !known {
+			ix.hits.Add(1)
+			return nil
+		}
+		if ids, ok := ix.lookup(sn, func() []string { return ix.byName[sym] }); ok {
+			return ids
+		}
+	}
+	var out []string
+	for id, o := range sn.objects {
+		if o.Name == name {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FindByAttr returns the ids of the snapshot's objects whose feature map
+// contains exactly the pair (key, value), in unspecified order. The
+// reserved keys "kind" and "name" are routed to the kind and name
+// indexes (the view layer exposes both as features). Note the contract
+// is contains-pair: an object LACKING key entirely does not match even
+// when value is empty — callers wanting missing-key semantics must scan.
+func (sn *Snapshot) FindByAttr(key, value string) []string {
+	switch key {
+	case "kind":
+		return sn.FindByKind(value)
+	case "name":
+		return sn.FindByName(value)
+	}
+	if ix := sn.idx; ix != nil {
+		ksym, kok := intern.Lookup(key)
+		vsym, vok := intern.Lookup(value)
+		if !kok || !vok {
+			ix.hits.Add(1)
+			return nil
+		}
+		pair := intern.Pair(ksym, vsym)
+		if ids, ok := ix.lookup(sn, func() []string { return ix.byAttr[pair] }); ok {
+			return ids
+		}
+	}
+	var out []string
+	for id, o := range sn.objects {
+		if v, ok := o.Features[key]; ok && v == value {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// indexStatsProvider is implemented by backends that own a secondary
+// index; healthz and the metrics registry discover it by assertion
+// (through unwrapBackend for decorated stores).
+type indexStatsProvider interface {
+	IndexStats() IndexStats
+}

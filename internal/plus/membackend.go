@@ -1,8 +1,10 @@
 package plus
 
 import (
+	"cmp"
 	"fmt"
 	"hash/maphash"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +39,11 @@ type MemBackend struct {
 	// notifier wakes change-feed followers on every applied mutation
 	// (Backend.Notify); it has its own lock, independent of the shards'.
 	notifier
+
+	// idx is the lazily-maintained secondary index (kind/name/attr ->
+	// ids); see index.go. It has its own lock and is advanced by query
+	// probes, never by the write path.
+	idx *backendIndex
 
 	revision atomic.Uint64
 	edges    atomic.Int64
@@ -107,11 +114,15 @@ func (r *changeRing) ordered(out []Change) []Change {
 }
 
 // at returns the change at logical position i (0 = oldest retained).
-func (r *changeRing) at(i int) Change {
+func (r *changeRing) at(i int) Change { return *r.ptrAt(i) }
+
+// ptrAt returns a pointer to the change at logical position i, valid only
+// while the shard lock is held (writers overwrite ring slots in place).
+func (r *changeRing) ptrAt(i int) *Change {
 	if r.next < len(r.buf) {
-		return r.buf[(r.next+i)%len(r.buf)]
+		return &r.buf[(r.next+i)%len(r.buf)]
 	}
-	return r.buf[i]
+	return &r.buf[i]
 }
 
 // collect appends the ring entries newer than since to out. Revisions are
@@ -119,7 +130,7 @@ func (r *changeRing) at(i int) Change {
 // binary search — O(log n + matches) instead of a full ring copy.
 func (r *changeRing) collect(since uint64, out []Change) []Change {
 	n := len(r.buf)
-	lo := sort.Search(n, func(i int) bool { return r.at(i).Rev > since })
+	lo := sort.Search(n, func(i int) bool { return r.ptrAt(i).Rev > since })
 	for i := lo; i < n; i++ {
 		out = append(out, r.at(i))
 	}
@@ -147,6 +158,7 @@ func NewMemBackend(shards int) *MemBackend {
 		seed:    maphash.MakeSeed(),
 		horizon: DefaultMemChangeHorizon,
 		epoch:   newEpoch(),
+		idx:     newBackendIndex(),
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]
@@ -204,6 +216,7 @@ func (m *MemBackend) PutObject(o Object) error {
 	if err := validateObject(o); err != nil {
 		return err
 	}
+	o = internObject(o)
 	sh := m.shardFor(o.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -248,6 +261,7 @@ func (m *MemBackend) PutEdge(e Edge) error {
 			return fmt.Errorf("plus: duplicate edge %s->%s", e.From, e.To)
 		}
 	}
+	e = internEdge(e)
 	from.out[e.From] = append(from.out[e.From], e)
 	to.in[e.To] = append(to.in[e.To], e)
 	m.edges.Add(1)
@@ -270,6 +284,7 @@ func (m *MemBackend) PutSurrogate(sp SurrogateSpec) error {
 	if _, ok := sh.objects[sp.ForID]; !ok {
 		return fmt.Errorf("plus: surrogate for %s: %w", sp.ForID, ErrNotFound)
 	}
+	sp = internSurrogate(sp)
 	sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
 	sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeSurrogate, Surrogate: sp}, m.horizon)
 	m.broadcast()
@@ -303,6 +318,7 @@ func (m *MemBackend) Apply(b Batch) (uint64, error) {
 		return 0, err
 	}
 	for _, o := range b.Objects {
+		o = internObject(o)
 		sh := m.shardFor(o.ID)
 		if prev, existed := sh.objects[o.ID]; existed {
 			sh.history[o.ID] = append(sh.history[o.ID], prev)
@@ -311,6 +327,7 @@ func (m *MemBackend) Apply(b Batch) (uint64, error) {
 		sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeObject, Object: o}, m.horizon)
 	}
 	for _, e := range b.Edges {
+		e = internEdge(e)
 		from, to := m.shardFor(e.From), m.shardFor(e.To)
 		from.out[e.From] = append(from.out[e.From], e)
 		to.in[e.To] = append(to.in[e.To], e)
@@ -318,6 +335,7 @@ func (m *MemBackend) Apply(b Batch) (uint64, error) {
 		from.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeEdge, Edge: e}, m.horizon)
 	}
 	for _, sp := range b.Surrogates {
+		sp = internSurrogate(sp)
 		sh := m.shardFor(sp.ForID)
 		sh.surrogates[sp.ForID] = append(sh.surrogates[sp.ForID], sp)
 		sh.changes.push(Change{Rev: m.revision.Add(1), Kind: ChangeSurrogate, Surrogate: sp}, m.horizon)
@@ -477,11 +495,54 @@ func (m *MemBackend) ChangesSince(since uint64) ([]Change, error) {
 	for i := range m.shards {
 		out = m.shards[i].changes.collect(since, out)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Rev < out[j].Rev })
+	slices.SortFunc(out, func(a, b Change) int { return cmp.Compare(a.Rev, b.Rev) })
 	if err := checkContiguous(out, since, rev); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// walkChangesSince streams every retained change with revision in
+// (since, upTo] to visit, shard by shard: no merging, no copying. Within
+// one shard — and therefore per primary id — changes arrive in revision
+// order; cross-shard order is unspecified. See changeWalker for the
+// contract, including the partial-visit-then-ErrTooFarBehind hazard.
+func (m *MemBackend) walkChangesSince(since, upTo uint64, visit func(*Change)) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	m.rlockAll()
+	defer m.runlockAll()
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	rev := m.revision.Load()
+	if since > rev {
+		return errFutureRevision(since, rev)
+	}
+	if upTo > rev {
+		upTo = rev
+	}
+	var seen uint64
+	for i := range m.shards {
+		ring := &m.shards[i].changes
+		n := len(ring.buf)
+		lo := sort.Search(n, func(i int) bool { return ring.ptrAt(i).Rev > since })
+		for j := lo; j < n; j++ {
+			c := ring.ptrAt(j)
+			if c.Rev > upTo {
+				break
+			}
+			visit(c)
+			seen++
+		}
+	}
+	if seen != upTo-since {
+		// Some shard evicted part of the window; the visits already made
+		// are moot, the caller must rebuild.
+		return ErrTooFarBehind
+	}
+	return nil
 }
 
 // Snapshot returns an immutable view of the backend at its current
@@ -508,6 +569,7 @@ func (m *MemBackend) Snapshot() (*Snapshot, error) {
 	}
 	sn := &Snapshot{
 		source:     m,
+		idx:        m.idx,
 		rev:        rev,
 		objects:    map[string]Object{},
 		out:        map[string][]Edge{},
@@ -521,6 +583,9 @@ func (m *MemBackend) Snapshot() (*Snapshot, error) {
 	m.snap.Store(sn)
 	return sn, nil
 }
+
+// IndexStats reports the secondary index's current state.
+func (m *MemBackend) IndexStats() IndexStats { return m.idx.stats() }
 
 // Size reports the durable footprint: always 0, the backend is volatile.
 func (m *MemBackend) Size() int64 { return 0 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/obs"
 )
 
@@ -250,6 +251,37 @@ func (s *Server) registerServerMetrics() {
 			"Change-feed notifier broadcasts that woke parked followers.",
 			func() float64 { return float64(wr.Wakeups()) })
 	}
+	if ip, ok := unwrapBackend(b).(indexStatsProvider); ok {
+		entries := reg.GaugeFuncVec("plus_index_entries",
+			"Secondary-index postings by index (kind/name/attr).", "index")
+		entries.Register(func() float64 { return float64(ip.IndexStats().KindEntries) }, "kind")
+		entries.Register(func() float64 { return float64(ip.IndexStats().NameEntries) }, "name")
+		entries.Register(func() float64 { return float64(ip.IndexStats().AttrEntries) }, "attr")
+		reg.GaugeFunc("plus_index_revision",
+			"Backend revision the secondary indexes currently cover.",
+			func() float64 { return float64(ip.IndexStats().Rev) })
+		reg.CounterFunc("plus_index_hits_total",
+			"Lookup probes answered from the secondary indexes.",
+			func() float64 { return float64(ip.IndexStats().Hits) })
+		reg.CounterFunc("plus_index_misses_total",
+			"Lookup probes that fell back to a linear scan.",
+			func() float64 { return float64(ip.IndexStats().Misses) })
+		reg.CounterFunc("plus_index_advances_total",
+			"Incremental index catch-ups through the change feed.",
+			func() float64 { return float64(ip.IndexStats().Advances) })
+		reg.CounterFunc("plus_index_builds_total",
+			"Initial secondary-index constructions.",
+			func() float64 { return float64(ip.IndexStats().Builds) })
+		reg.CounterFunc("plus_index_rebuilds_total",
+			"Hazard rebuilds after change-feed truncation (ErrTooFarBehind).",
+			func() float64 { return float64(ip.IndexStats().Rebuilds) })
+	}
+	reg.GaugeFunc("plus_intern_strings",
+		"Distinct strings resident in the global intern table.",
+		func() float64 { return float64(intern.Count()) })
+	reg.GaugeFunc("plus_intern_bytes",
+		"Bytes of string data held by the global intern table.",
+		func() float64 { return float64(intern.Bytes()) })
 	if ce, ok := s.answerer.(*CachedEngine); ok {
 		reg.GaugeFunc("plus_lineage_cache_entries", "Cached lineage answers.",
 			func() float64 { return float64(ce.Stats().Entries) })

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,12 @@ const (
 type Request struct {
 	// Start is the object whose lineage is requested.
 	Start string
+	// StartName, when Start is empty, seeds the traversal from every
+	// object whose name feature equals it — "lineage of everything called
+	// X". Seed resolution is served by the storage name index, so it costs
+	// a posting-list lookup, not a scan. It is an error if no object
+	// matches.
+	StartName string
 	// Direction selects ancestors (Backward, the common provenance
 	// question), descendants (Forward), or the full weakly-connected
 	// lineage (Undirected).
@@ -149,6 +156,15 @@ func (en *Engine) observe(ctx context.Context, req Request, t Timing) {
 	}
 }
 
+// startRef names a request's seed for error messages and the slow-query
+// log: the start id, or name:<StartName> for multi-seed requests.
+func startRef(req Request) string {
+	if req.Start == "" && req.StartName != "" {
+		return "name:" + req.StartName
+	}
+	return req.Start
+}
+
 // describeLineage renders a request compactly for the slow-query log.
 func describeLineage(req Request) string {
 	dir := "ancestors"
@@ -158,7 +174,7 @@ func describeLineage(req Request) string {
 	case graph.Undirected:
 		dir = "both"
 	}
-	s := fmt.Sprintf("lineage start=%s direction=%s mode=%s", req.Start, dir, req.Mode)
+	s := fmt.Sprintf("lineage start=%s direction=%s mode=%s", startRef(req), dir, req.Mode)
 	if req.Depth > 0 {
 		s += fmt.Sprintf(" depth=%d", req.Depth)
 	}
@@ -231,9 +247,23 @@ func (en *Engine) fetch(ctx context.Context, req Request) (*fetched, error) {
 	if err != nil {
 		return nil, err
 	}
-	start, ok := sn.Object(req.Start)
-	if !ok {
-		return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, ErrNotFound)
+	// Resolve the seed set: an explicit start object, or — when Start is
+	// empty — every object whose name matches StartName, answered by the
+	// storage name index.
+	var seeds []string
+	if req.Start != "" || req.StartName == "" {
+		if _, ok := sn.Object(req.Start); !ok {
+			return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, ErrNotFound)
+		}
+		seeds = []string{req.Start}
+	} else {
+		seeds = append(seeds, sn.FindByName(req.StartName)...)
+		if len(seeds) == 0 {
+			return nil, fmt.Errorf("plus: lineage of %q: %w", startRef(req), ErrNotFound)
+		}
+		// Index postings are unordered; the BFS visit order (and so the
+		// fetched closure) must be deterministic.
+		sort.Strings(seeds)
 	}
 
 	// expand collects the admissible edges and neighbours of one node.
@@ -265,14 +295,23 @@ func (en *Engine) fetch(ctx context.Context, req Request) (*fetched, error) {
 		return ex
 	}
 
-	f := &fetched{objects: []Object{start}}
-	seen := map[string]bool{req.Start: true}
+	f := &fetched{}
+	seen := map[string]bool{}
 	edgeSeen := map[[2]string]bool{}
-	frontier := []string{req.Start}
+	var frontier []string
+	for _, id := range seeds {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		o, _ := sn.Object(id)
+		f.objects = append(f.objects, o)
+		frontier = append(frontier, id)
+	}
 	depth := 0
 	for ; len(frontier) > 0 && (req.Depth == 0 || depth < req.Depth); depth++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, err)
+			return nil, fmt.Errorf("plus: lineage of %q: %w", startRef(req), err)
 		}
 		expansions := make([]expansion, len(frontier))
 		if workers := int(en.fetchWorkers.Load()); workers > 1 && len(frontier) >= parallelFrontier {
@@ -402,7 +441,7 @@ func (en *Engine) LineageContext(ctx context.Context, req Request) (*Result, err
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("plus: lineage of %q: %w", req.Start, err)
+		return nil, fmt.Errorf("plus: lineage of %q: %w", startRef(req), err)
 	}
 
 	var acct *account.Account

@@ -1,0 +1,5 @@
+//go:build !race
+
+package plus_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package plus_test
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation distorts the timing ratios the overhead guards check.
+const raceEnabled = true

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/privilege"
 )
 
@@ -359,7 +360,9 @@ type LineageTiming struct {
 
 // LineageResponse is the JSON answer to a lineage query.
 type LineageResponse struct {
-	Start       string        `json:"start"`
+	Start string `json:"start"`
+	// StartName echoes a name-seeded (multi-seed) request.
+	StartName   string        `json:"startName,omitempty"`
 	Viewer      string        `json:"viewer"`
 	Mode        string        `json:"mode"`
 	Nodes       []LineageNode `json:"nodes"`
@@ -506,6 +509,14 @@ type QueryCacheHealth struct {
 	Fallbacks       uint64 `json:"fallbacks"`
 }
 
+// InternHealth reports the global string-intern table: how many distinct
+// strings the store's kinds, names and features collapsed into, and the
+// bytes they occupy.
+type InternHealth struct {
+	Strings int   `json:"strings"`
+	Bytes   int64 `json:"bytes"`
+}
+
 // HealthzResponse is the readiness-probe answer: whether the backend is
 // open plus the live counts, revision and cache/delta activity a
 // deployment can alert on.
@@ -514,6 +525,11 @@ type HealthzResponse struct {
 	Objects  int    `json:"objects"`
 	Edges    int    `json:"edges"`
 	Revision uint64 `json:"revision"`
+	// Index reports the storage secondary indexes (present when the
+	// backend maintains them).
+	Index *IndexStats `json:"index,omitempty"`
+	// Intern reports the global string-intern table.
+	Intern *InternHealth `json:"intern,omitempty"`
 	// LineageCache reports the delta-scoped lineage answer cache (present
 	// when the server fronts a CachedEngine).
 	LineageCache *LineageCacheStats `json:"lineageCache,omitempty"`
@@ -544,6 +560,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Edges:    b.NumEdges(),
 		Revision: b.Revision(),
 	}
+	if ip, ok := unwrapBackend(b).(indexStatsProvider); ok {
+		st := ip.IndexStats()
+		resp.Index = &st
+	}
+	resp.Intern = &InternHealth{Strings: intern.Count(), Bytes: intern.Bytes()}
 	if ce, ok := s.answerer.(*CachedEngine); ok {
 		st := ce.Stats()
 		resp.LineageCache = &st

@@ -159,6 +159,11 @@ type LogBackend struct {
 	// (Backend.Notify); it has its own lock and never touches mu.
 	notifier
 
+	// idx is the lazily-maintained secondary index (kind/name/attr ->
+	// ids); see index.go. It has its own lock and is advanced by query
+	// probes, never by the write path.
+	idx *backendIndex
+
 	closed atomic.Bool
 }
 
@@ -197,6 +202,7 @@ func Open(path string, opts Options) (*LogBackend, error) {
 		in:            map[string][]Edge{},
 		surrogates:    map[string][]SurrogateSpec{},
 		changeHorizon: DefaultLogChangeHorizon,
+		idx:           newBackendIndex(),
 	}
 	if err := s.replay(); err != nil {
 		f.Close()
@@ -314,6 +320,7 @@ func (s *LogBackend) apply(kind byte, body []byte) error {
 		if err := json.Unmarshal(body, &o); err != nil {
 			return err
 		}
+		o = internObject(o)
 		if prev, existed := s.objects[o.ID]; existed {
 			s.history[o.ID] = append(s.history[o.ID], prev)
 		}
@@ -324,6 +331,7 @@ func (s *LogBackend) apply(kind byte, body []byte) error {
 		if err := json.Unmarshal(body, &e); err != nil {
 			return err
 		}
+		e = internEdge(e)
 		s.out[e.From] = append(s.out[e.From], e)
 		s.in[e.To] = append(s.in[e.To], e)
 		c.Kind, c.Edge = ChangeEdge, e
@@ -332,6 +340,7 @@ func (s *LogBackend) apply(kind byte, body []byte) error {
 		if err := json.Unmarshal(body, &sp); err != nil {
 			return err
 		}
+		sp = internSurrogate(sp)
 		s.surrogates[sp.ForID] = append(s.surrogates[sp.ForID], sp)
 		c.Kind, c.Surrogate = ChangeSurrogate, sp
 	default:
@@ -431,6 +440,36 @@ func (s *LogBackend) ChangesSince(since uint64) ([]Change, error) {
 	return append([]Change(nil), s.changes[since-s.changesBase:rev-s.changesBase]...), nil
 }
 
+// walkChangesSince streams the retained changes with revision in
+// (since, upTo] to visit straight out of the resident window, copying
+// nothing. The window is a single revision-ordered slice, so unlike
+// MemBackend's shard-by-shard walk the visits here are globally ordered.
+// See changeWalker for the contract.
+func (s *LogBackend) walkChangesSince(since, upTo uint64, visit func(*Change)) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	rev := s.revision.Load()
+	if since > rev {
+		return errFutureRevision(since, rev)
+	}
+	if since < s.changesBase {
+		return ErrTooFarBehind
+	}
+	if upTo > rev {
+		upTo = rev
+	}
+	for i := since - s.changesBase; i < upTo-s.changesBase; i++ {
+		visit(&s.changes[i])
+	}
+	return nil
+}
+
 // Snapshot returns an immutable view of the store at its current
 // revision. The clone is cached: consecutive snapshots with no
 // intervening write return the same *Snapshot without taking the store
@@ -454,9 +493,13 @@ func (s *LogBackend) Snapshot() (*Snapshot, error) {
 		return sn, nil
 	}
 	sn := cloneIndex(s, rev, s.objects, s.out, s.in, s.surrogates)
+	sn.idx = s.idx
 	s.snap.Store(sn)
 	return sn, nil
 }
+
+// IndexStats reports the secondary index's current state.
+func (s *LogBackend) IndexStats() IndexStats { return s.idx.stats() }
 
 // Ping reports whether the store is open.
 func (s *LogBackend) Ping() error {

@@ -640,14 +640,18 @@ func (s *Server) handleV2Compact(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// parseLineageParams decodes the shared lineage query parameters (start,
-// direction, depth, mode, label, kind) used by both API versions. The
-// viewer is NOT parsed here: v1 reads it from the query string, v2 from
-// the request principal.
+// parseLineageParams decodes the shared lineage query parameters (start
+// or startName, direction, depth, mode, label, kind) used by both API
+// versions. The viewer is NOT parsed here: v1 reads it from the query
+// string, v2 from the request principal.
 func parseLineageParams(q interface{ Get(string) string }) (Request, error) {
 	start := q.Get("start")
-	if start == "" {
+	startName := q.Get("startName")
+	if start == "" && startName == "" {
 		return Request{}, fmt.Errorf("plus: missing start parameter")
+	}
+	if start != "" && startName != "" {
+		return Request{}, fmt.Errorf("plus: start and startName are mutually exclusive")
 	}
 	dir, err := parseDirection(q.Get("direction"))
 	if err != nil {
@@ -673,6 +677,7 @@ func parseLineageParams(q interface{ Get(string) string }) (Request, error) {
 	}
 	return Request{
 		Start:       start,
+		StartName:   startName,
 		Direction:   dir,
 		Depth:       depth,
 		Mode:        mode,
@@ -686,6 +691,7 @@ func parseLineageParams(q interface{ Get(string) string }) (Request, error) {
 func buildLineageResponse(req Request, res *Result) LineageResponse {
 	resp := LineageResponse{
 		Start:       req.Start,
+		StartName:   req.StartName,
 		Viewer:      string(req.Viewer),
 		Mode:        string(req.Mode),
 		PathUtility: measure.PathUtility(res.Spec, res.Account),

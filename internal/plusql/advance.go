@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/account"
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/plus"
 )
 
@@ -173,6 +174,17 @@ func (nv *View) patch(old *View, st account.MaintainStats) {
 		}
 	}
 
+	// Name and attr secondary indexes: the same recompute-touched-postings
+	// scheme as the kind index, via the generic helper (a node has at most
+	// one name key but many attr pairs).
+	nv.byName = patchPostings(old.byName, old, nv, st, func(f graph.Features) []intern.Sym {
+		if n := f["name"]; n != "" {
+			return []intern.Sym{intern.S(n)}
+		}
+		return nil
+	})
+	nv.byAttr = patchPostings(old.byAttr, old, nv, st, attrPairs)
+
 	// Adjacency: clone the map headers, copy-on-write the slices of the
 	// endpoints the patch touched.
 	nv.out = make(map[graph.NodeID][]Neighbor, len(old.out))
@@ -263,6 +275,81 @@ func (nv *View) patch(old *View, st account.MaintainStats) {
 			nv.backReach[id] = r
 		}
 	}
+}
+
+// patchPostings derives a successor view's posting map from the old
+// view's, copy-on-write: only the keys whose membership the maintenance
+// stats could have changed are recomputed (old postings minus departures
+// plus arrivals, re-sorted); every untouched posting list is shared with
+// the old view. keysOf maps a node's released features to its index keys.
+func patchPostings[K comparable](oldIdx map[K][]graph.NodeID, old, nv *View,
+	st account.MaintainStats, keysOf func(graph.Features) []K) map[K][]graph.NodeID {
+	touched := map[K]bool{}
+	newKeys := map[graph.NodeID]map[K]bool{}
+	setOf := func(ks []K) map[K]bool {
+		if len(ks) == 0 {
+			return nil
+		}
+		m := make(map[K]bool, len(ks))
+		for _, k := range ks {
+			m[k] = true
+		}
+		return m
+	}
+	for _, id := range st.AddedNodes {
+		ks := setOf(keysOf(nv.Features(id)))
+		newKeys[id] = ks
+		for k := range ks {
+			touched[k] = true
+		}
+	}
+	for _, id := range st.UpdatedNodes {
+		oldKs := setOf(keysOf(old.Features(id)))
+		ks := setOf(keysOf(nv.Features(id)))
+		newKeys[id] = ks
+		for k := range oldKs {
+			if !ks[k] {
+				touched[k] = true
+			}
+		}
+		for k := range ks {
+			if !oldKs[k] {
+				touched[k] = true
+			}
+		}
+	}
+	for _, id := range st.RemovedNodes {
+		for _, k := range keysOf(old.Features(id)) {
+			touched[k] = true
+		}
+		newKeys[id] = nil
+	}
+
+	out := make(map[K][]graph.NodeID, len(oldIdx))
+	for k, ids := range oldIdx {
+		if !touched[k] {
+			out[k] = ids
+		}
+	}
+	for k := range touched {
+		var ids []graph.NodeID
+		for _, id := range oldIdx[k] {
+			if ks, changed := newKeys[id]; changed && !ks[k] {
+				continue
+			}
+			ids = append(ids, id)
+		}
+		for id, ks := range newKeys {
+			if ks[k] && !contains(oldIdx[k], id) {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if len(ids) > 0 {
+			out[k] = ids
+		}
+	}
+	return out
 }
 
 func contains(ids []graph.NodeID, id graph.NodeID) bool {

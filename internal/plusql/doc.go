@@ -70,4 +70,11 @@
 // the reachability memos the delta can affect (View.Advance). A full
 // snapshot rebuild happens only when the delta cannot be localised or the
 // feed no longer retains the revision window.
+//
+// Point predicates additionally lower into the storage layer's interned
+// secondary indexes (Snapshot.FindByKind/FindByName/FindByAttr, see
+// internal/plus/index.go and the "Storage: interning and secondary
+// indexes" section of the README): a kind/name/attr probe is a hash
+// lookup on an interned symbol instead of a scan, which is what keeps
+// point queries sublinear on million-node graphs (BENCH_index.json).
 package plusql

@@ -183,9 +183,14 @@ func (ex *exec) open(s *Step) (*cursor, error) {
 		return c, nil
 
 	case StepScan:
-		if s.ScanKind != "" {
+		switch {
+		case s.ScanKind != "":
 			c.ids = ex.v.NodesByKind(s.ScanKind)
-		} else {
+		case s.ScanName != "":
+			c.ids = ex.v.NodesByName(s.ScanName)
+		case s.ScanAttrKey != "":
+			c.ids = ex.v.NodesByAttr(s.ScanAttrKey, s.ScanAttrVal)
+		default:
 			c.ids = ex.v.Nodes()
 		}
 		return c, nil

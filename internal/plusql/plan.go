@@ -51,8 +51,13 @@ type Step struct {
 	Slot  int
 	Slot2 int
 	// ScanKind, when non-empty, restricts a StepScan to the view's kind
-	// index instead of the full node list.
-	ScanKind string
+	// index instead of the full node list. ScanName and the ScanAttr pair
+	// do the same against the name and attr secondary indexes; at most
+	// one of the three access paths is set per step.
+	ScanKind    string
+	ScanName    string
+	ScanAttrKey string
+	ScanAttrVal string
 	// Pushed holds filter atoms folded down into this step; they are
 	// applied to each candidate before the binding is extended.
 	Pushed []Atom
@@ -76,6 +81,13 @@ type Stats struct {
 	Nodes  int
 	Edges  int
 	ByKind map[string]int
+	// NameCount and AttrCount, when non-nil, report secondary-index
+	// posting sizes; the planner then costs name()/attr() predicates at
+	// their true selectivity and lowers them to index scans. Nil means
+	// the view has no such indexes and those predicates cost a full scan
+	// (the pre-index behaviour, kept for hand-built Stats).
+	NameCount func(name string) int
+	AttrCount func(key, value string) int
 }
 
 // ViewStats extracts planner statistics from a view.
@@ -84,7 +96,27 @@ func ViewStats(v *View) Stats {
 	for k, ids := range v.byKind {
 		by[k] = len(ids)
 	}
-	return Stats{Nodes: v.NumNodes(), Edges: v.NumEdges(), ByKind: by}
+	return Stats{
+		Nodes:     v.NumNodes(),
+		Edges:     v.NumEdges(),
+		ByKind:    by,
+		NameCount: v.NameCount,
+		AttrCount: v.AttrCount,
+	}
+}
+
+// indexableName / indexableAttr report whether a name()/attr() atom can
+// be served by the secondary indexes: stats must expose them and the
+// constants must be non-empty (an empty constant also matches nodes
+// LACKING the feature, which only a scan sees).
+func indexableName(a Atom, st Stats, naive bool) bool {
+	return !naive && st.NameCount != nil && !a.Args[1].IsVar && a.Args[1].Text != ""
+}
+
+func indexableAttr(a Atom, st Stats, naive bool) bool {
+	return !naive && st.AttrCount != nil &&
+		!a.Args[1].IsVar && a.Args[1].Text != "" &&
+		!a.Args[2].IsVar && a.Args[2].Text != ""
 }
 
 // isFilterAtom reports whether an atom is a pure single-node filter
@@ -141,7 +173,7 @@ func Compile(q *Query, st Stats, naive bool) (*Plan, error) {
 	}
 
 	if !naive {
-		pushDown(p)
+		pushDown(p, st)
 	}
 	return p, nil
 }
@@ -173,6 +205,18 @@ func estimate(a Atom, bound map[string]bool, st Stats, naive bool) float64 {
 				return float64(c)
 			}
 			return 1 // unknown kind: empty index
+		}
+		if a.Pred == PredName && indexableName(a, st, naive) {
+			if c := st.NameCount(a.Args[1].Text); c > 0 {
+				return float64(c)
+			}
+			return 1 // unknown name: empty index
+		}
+		if a.Pred == PredAttr && indexableAttr(a, st, naive) {
+			if c := st.AttrCount(a.Args[1].Text, a.Args[2].Text); c > 0 {
+				return float64(c)
+			}
+			return 1 // unknown pair: empty index
 		}
 		if a.Pred == PredNode {
 			return n
@@ -210,6 +254,10 @@ func lower(a Atom, bound map[string]bool, slotOf map[string]int, st Stats, naive
 		step.Slot = slotOf[a.Args[unbound[0]].Text]
 		if a.Pred == PredKind && !naive {
 			step.ScanKind = a.Args[1].Text
+		} else if a.Pred == PredName && indexableName(a, st, naive) {
+			step.ScanName = a.Args[1].Text
+		} else if a.Pred == PredAttr && indexableAttr(a, st, naive) {
+			step.ScanAttrKey, step.ScanAttrVal = a.Args[1].Text, a.Args[2].Text
 		} else if a.Pred != PredNode {
 			// The generating atom itself filters the scan (naive mode
 			// keeps kind() here too: full scan, filter after).
@@ -228,9 +276,10 @@ func lower(a Atom, bound map[string]bool, slotOf map[string]int, st Stats, naive
 
 // pushDown folds later single-variable filter checks into the step that
 // generates their variable, so candidates are rejected before the binding
-// ever extends. A kind() check pushed into an index-less scan upgrades
-// the scan to the kind index.
-func pushDown(p *Plan) {
+// ever extends. A kind()/name()/attr() check pushed into an index-less
+// scan upgrades the scan to the matching secondary index (first upgrade
+// wins; a scan has one access path).
+func pushDown(p *Plan, st Stats) {
 	genOf := map[int]int{} // slot -> index of generating step
 	for i, s := range p.Steps {
 		if s.Slot >= 0 {
@@ -258,10 +307,18 @@ func pushDown(p *Plan) {
 		// out: the generator precedes i and was already appended).
 		for j := range out {
 			if out[j].Slot == slot || out[j].Slot2 == slot {
-				if s.Atom.Pred == PredKind && out[j].Kind == StepScan && out[j].ScanKind == "" {
-					out[j].ScanKind = s.Atom.Args[1].Text
-				} else if s.Atom.Pred != PredNode {
-					out[j].Pushed = append(out[j].Pushed, s.Atom)
+				g := &out[j]
+				unrestricted := g.Kind == StepScan && g.ScanKind == "" &&
+					g.ScanName == "" && g.ScanAttrKey == ""
+				switch {
+				case s.Atom.Pred == PredKind && unrestricted:
+					g.ScanKind = s.Atom.Args[1].Text
+				case s.Atom.Pred == PredName && unrestricted && indexableName(s.Atom, st, false):
+					g.ScanName = s.Atom.Args[1].Text
+				case s.Atom.Pred == PredAttr && unrestricted && indexableAttr(s.Atom, st, false):
+					g.ScanAttrKey, g.ScanAttrVal = s.Atom.Args[1].Text, s.Atom.Args[2].Text
+				case s.Atom.Pred != PredNode:
+					g.Pushed = append(g.Pushed, s.Atom)
 				}
 				break
 			}
@@ -286,7 +343,13 @@ func (p *Plan) Explain() string {
 			if s.ScanKind != "" {
 				fmt.Fprintf(&sb, " [kind=%s]", s.ScanKind)
 			}
-			if s.Atom.Pred != PredKind || s.ScanKind == "" {
+			if s.ScanName != "" {
+				fmt.Fprintf(&sb, " [name=%s]", s.ScanName)
+			}
+			if s.ScanAttrKey != "" {
+				fmt.Fprintf(&sb, " [attr %s=%s]", s.ScanAttrKey, s.ScanAttrVal)
+			}
+			if !scanConsumesAtom(s) {
 				fmt.Fprintf(&sb, " via %s", s.Atom)
 			}
 		case StepExpand:
@@ -315,6 +378,22 @@ func (p *Plan) Explain() string {
 	}
 	fmt.Fprintf(&sb, "  project %s\n", strings.Join(proj, ", "))
 	return sb.String()
+}
+
+// scanConsumesAtom reports whether a scan step's own atom IS its access
+// path (the index enumerates exactly the atom's matches), in which case
+// Explain omits the redundant "via" clause.
+func scanConsumesAtom(s Step) bool {
+	a := s.Atom
+	switch a.Pred {
+	case PredKind:
+		return s.ScanKind == a.Args[1].Text && s.ScanKind != ""
+	case PredName:
+		return s.ScanName == a.Args[1].Text && s.ScanName != ""
+	case PredAttr:
+		return s.ScanAttrKey == a.Args[1].Text && s.ScanAttrVal == a.Args[2].Text && s.ScanAttrKey != ""
+	}
+	return false
 }
 
 // expandDirection resolves how a one-side-bound edge/closure atom expands:

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/account"
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/plus"
 	"repro/internal/privilege"
 )
@@ -27,8 +28,16 @@ type View struct {
 
 	acct *account.Account
 
-	nodes  []graph.NodeID              // all account nodes, sorted
-	byKind map[string][]graph.NodeID   // "kind" feature -> sorted nodes
+	nodes  []graph.NodeID            // all account nodes, sorted
+	byKind map[string][]graph.NodeID // "kind" feature -> sorted nodes
+	// byName and byAttr are the view-level secondary indexes: interned
+	// "name" feature -> sorted nodes, and interned (attr key, attr value)
+	// pair -> sorted nodes. Unnamed nodes, empty attr values and the
+	// reserved kind/name keys are not posted (the planner never uses the
+	// indexes for those probes), keeping index-served enumeration
+	// byte-identical to a sorted scan-and-filter.
+	byName map[intern.Sym][]graph.NodeID
+	byAttr map[uint64][]graph.NodeID
 	out    map[graph.NodeID][]Neighbor // adjacency, sorted by neighbour
 	in     map[graph.NodeID][]Neighbor
 	edges  int
@@ -103,11 +112,19 @@ func (v *View) index() {
 	v.fwdReach = map[graph.NodeID][]graph.NodeID{}
 	v.backReach = map[graph.NodeID][]graph.NodeID{}
 	v.edges = 0
-	v.nodes = acct.Graph.Nodes() // sorted
+	v.byName = map[intern.Sym][]graph.NodeID{}
+	v.byAttr = map[uint64][]graph.NodeID{}
+	v.nodes = acct.Graph.Nodes() // sorted, so every posting list is sorted
 	for _, id := range v.nodes {
 		n, _ := acct.Graph.NodeByID(id)
 		if k := n.Features["kind"]; k != "" {
 			v.byKind[k] = append(v.byKind[k], id)
+		}
+		if name := n.Features["name"]; name != "" {
+			v.byName[intern.S(name)] = append(v.byName[intern.S(name)], id)
+		}
+		for _, p := range attrPairs(n.Features) {
+			v.byAttr[p] = append(v.byAttr[p], id)
 		}
 	}
 	for _, e := range acct.Graph.Edges() { // sorted by (From, To)
@@ -146,6 +163,57 @@ func (v *View) Nodes() []graph.NodeID { return v.nodes }
 // NodesByKind returns the visible nodes whose "kind" feature equals k,
 // sorted. Callers must not mutate the returned slice.
 func (v *View) NodesByKind(k string) []graph.NodeID { return v.byKind[k] }
+
+// attrPairs maps a node's feature set to its secondary-index keys:
+// one interned (key, value) pair per feature, skipping the reserved
+// kind/name keys (they have their own indexes) and empty values (the
+// planner routes empty-constant probes to scans, because an absent key
+// also matches an empty constant under map-lookup semantics).
+func attrPairs(f graph.Features) []uint64 {
+	var out []uint64
+	for k, val := range f {
+		if k == "kind" || k == "name" || val == "" {
+			continue
+		}
+		out = append(out, intern.Pair(intern.S(k), intern.S(val)))
+	}
+	return out
+}
+
+// NodesByName returns the visible nodes whose "name" feature equals the
+// non-empty name, sorted. Callers must not mutate the returned slice.
+func (v *View) NodesByName(name string) []graph.NodeID {
+	sym, known := intern.Lookup(name)
+	if !known || sym == intern.None {
+		return nil
+	}
+	return v.byName[sym]
+}
+
+// NameCount reports how many visible nodes carry the name feature.
+func (v *View) NameCount(name string) int { return len(v.NodesByName(name)) }
+
+// NodesByAttr returns the visible nodes whose feature map contains the
+// (non-empty) pair key=value, sorted. The reserved keys "kind" and
+// "name" route to their dedicated indexes. Callers must not mutate the
+// returned slice.
+func (v *View) NodesByAttr(key, value string) []graph.NodeID {
+	switch key {
+	case "kind":
+		return v.byKind[value]
+	case "name":
+		return v.NodesByName(value)
+	}
+	ksym, kok := intern.Lookup(key)
+	vsym, vok := intern.Lookup(value)
+	if !kok || !vok {
+		return nil
+	}
+	return v.byAttr[intern.Pair(ksym, vsym)]
+}
+
+// AttrCount reports how many visible nodes carry the feature pair.
+func (v *View) AttrCount(key, value string) int { return len(v.NodesByAttr(key, value)) }
 
 // Has reports whether id is a visible node.
 func (v *View) Has(id graph.NodeID) bool { return v.acct.Graph.HasNode(id) }

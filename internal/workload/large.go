@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/plus"
+)
+
+// LargeConfig parameterises GenerateLarge, the streaming synthetic
+// provenance DAG behind the index benchmarks. Unlike GenerateSynthetic it
+// never materialises a graph: records are emitted in batches, so the only
+// bound on Nodes is the target backend's capacity.
+type LargeConfig struct {
+	// Nodes is the graph size.
+	Nodes int
+	// EdgesPerNode is how many incoming edges each node draws from random
+	// earlier nodes (the DAG is ranked, so edges always point forward);
+	// default 5.
+	EdgesPerNode int
+	// NamePool is the number of distinct names shared across nodes, so a
+	// point name predicate matches ~Nodes/NamePool nodes; default
+	// Nodes/20 (min 1).
+	NamePool int
+	// Owners, Stages, Batches are the attribute pool sizes for the
+	// owner/stage/batch features; defaults 100, 10, 1000.
+	Owners, Stages, Batches int
+	// ProtectEvery protects one node in that many with a surrogate
+	// (0 disables); default 1000.
+	ProtectEvery int
+	// Seed drives the deterministic RNG.
+	Seed int64
+	// BatchSize is the number of objects per emitted batch; default 4096.
+	BatchSize int
+}
+
+func (c LargeConfig) withDefaults() LargeConfig {
+	if c.EdgesPerNode == 0 {
+		c.EdgesPerNode = 5
+	}
+	if c.NamePool == 0 {
+		c.NamePool = c.Nodes / 20
+	}
+	if c.NamePool < 1 {
+		c.NamePool = 1
+	}
+	if c.Owners == 0 {
+		c.Owners = 100
+	}
+	if c.Stages == 0 {
+		c.Stages = 10
+	}
+	if c.Batches == 0 {
+		c.Batches = 1000
+	}
+	if c.ProtectEvery == 0 {
+		c.ProtectEvery = 1000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 4096
+	}
+	return c
+}
+
+// LargeNodeID names node i of a GenerateLarge graph.
+func LargeNodeID(i int) string { return fmt.Sprintf("n%07d", i) }
+
+// LargeName names the k-th entry of the shared name pool.
+func LargeName(k int) string { return fmt.Sprintf("name%05d", k) }
+
+// LargeOwner names the k-th entry of the owner attribute pool.
+func LargeOwner(k int) string { return fmt.Sprintf("u%04d", k) }
+
+// GenerateLarge streams a deterministic ranked provenance DAG into emit:
+// Nodes objects named from a shared pool, carrying owner/stage/batch
+// features drawn from small pools (the shape secondary indexes thrive
+// on), wired with EdgesPerNode forward edges each, with a sparse
+// protected minority carrying surrogates. emit is called with batches of
+// at most BatchSize objects plus their edges; an emit error aborts the
+// generation.
+func GenerateLarge(cfg LargeConfig, emit func(plus.Batch) error) error {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		return fmt.Errorf("workload: GenerateLarge needs at least 1 node, got %d", cfg.Nodes)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	batch := plus.Batch{}
+	flush := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		err := emit(batch)
+		batch = plus.Batch{}
+		return err
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := LargeNodeID(i)
+		o := plus.Object{
+			ID:   id,
+			Kind: plus.Data,
+			Name: LargeName(r.Intn(cfg.NamePool)),
+			Features: map[string]string{
+				"owner": LargeOwner(r.Intn(cfg.Owners)),
+				"stage": fmt.Sprintf("s%d", r.Intn(cfg.Stages)),
+				"batch": fmt.Sprintf("b%05d", r.Intn(cfg.Batches)),
+			},
+		}
+		if i%4 == 3 {
+			o.Kind = plus.Invocation
+		}
+		if cfg.ProtectEvery > 0 && i%cfg.ProtectEvery == cfg.ProtectEvery/2 {
+			o.Lowest, o.Protect = "Protected", "surrogate"
+			batch.Surrogates = append(batch.Surrogates, plus.SurrogateSpec{
+				ForID: id, ID: id + "~", Name: "redacted", InfoScore: 0.5,
+			})
+		}
+		batch.Objects = append(batch.Objects, o)
+		// Forward wiring: draw sources from earlier ranks, dedupe within
+		// the node (the rank gap makes cross-node duplicates impossible).
+		if i > 0 {
+			srcs := map[int]bool{}
+			for e := 0; e < cfg.EdgesPerNode; e++ {
+				j := r.Intn(i)
+				if srcs[j] {
+					continue
+				}
+				srcs[j] = true
+				batch.Edges = append(batch.Edges, plus.Edge{
+					From: LargeNodeID(j), To: id, Label: "input-to",
+				})
+			}
+		}
+		if len(batch.Objects) >= cfg.BatchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
