@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	plusctl [-server http://localhost:7337] [-token T] <command> [args]
+//	plusctl [-server http://localhost:7337] [-token T] [-tls-ca ca.pem] <command> [args]
 //
 // Commands:
 //
@@ -44,6 +44,16 @@
 // expiry. The global -token (before the subcommand) authenticates every
 // subcommand — v1 and v2 alike — as the X-Plus-Session header; the
 // batch/follow -token flag overrides it per call.
+//
+// The global -tls-ca verifies an https server against a custom PEM CA
+// bundle — the cert.pem a plusd running with -tls-self-signed serves
+// with.
+//
+// status renders the healthz payload as an operator summary; against a
+// follower (plusd -follow) it includes the replication block — role,
+// primary, applied/primary revision, lag, resyncs — and -max-lag D
+// exits non-zero when the follower is stalled more than D behind the
+// primary, so probes can evict it from a read pool.
 package main
 
 import (
@@ -76,7 +86,7 @@ var commands = []struct{ name, synopsis string }{
 	{"follow", `follow [-viewer P] [-token T] [-cursor C] [-tail] [-wait D] [-max N] [-no-resync]`},
 	{"session", `session mint -keys keyring -viewer P [-caps ingest,replicate,query,admin] [-ttl 1h] [-key ID] | session inspect [-keys keyring] TOKEN`},
 	{"stats", `stats`},
-	{"status", `status`},
+	{"status", `status [-max-lag D]`},
 	{"top", `top [-interval 2s] [-n N] [-once]`},
 	{"slowlog", `slowlog`},
 	{"healthz", `healthz`},
@@ -88,7 +98,7 @@ var commands = []struct{ name, synopsis string }{
 // or missing subcommands.
 func usageListing() string {
 	var sb strings.Builder
-	sb.WriteString("usage: plusctl [-server URL] [-token T] <command> [args]\n\ncommands:\n")
+	sb.WriteString("usage: plusctl [-server URL] [-token T] [-tls-ca ca.pem] <command> [args]\n\ncommands:\n")
 	for _, c := range commands {
 		sb.WriteString("  " + c.synopsis + "\n")
 	}
@@ -174,7 +184,33 @@ func printStatus(w *os.File, h plus.HealthzResponse) error {
 	if in := h.Intern; in != nil {
 		fmt.Fprintf(tw, "intern table\t%d strings, %d bytes\n", in.Strings, in.Bytes)
 	}
+	if rep := h.Replica; rep != nil {
+		fmt.Fprintf(tw, "replication\t%s of %s (%s)\n", rep.Role, rep.Primary, rep.State)
+		fmt.Fprintf(tw, "  applied\t%d of %d (lag %d revisions, %.1fs)\n",
+			rep.AppliedRev, rep.PrimaryRev, rep.LagRevisions, rep.LagSeconds)
+		fmt.Fprintf(tw, "  apply\t%d events in %d batches, %.1f/s\n",
+			rep.Applied, rep.Batches, rep.ApplyPerSec)
+		fmt.Fprintf(tw, "  recovery\t%d resyncs, %d reconnects\n", rep.Resyncs, rep.Reconnects)
+	}
 	return tw.Flush()
+}
+
+// replicaExit turns a stalled follower into a non-zero exit for probes:
+// a replica present in the payload and continuously behind the primary
+// for longer than maxLag fails the status command.
+func replicaExit(h plus.HealthzResponse, maxLag time.Duration) error {
+	if maxLag <= 0 || h.Replica == nil {
+		return nil
+	}
+	rep := h.Replica
+	if rep.State == "failed" {
+		return fmt.Errorf("follower failed (replication stopped)")
+	}
+	if rep.LagRevisions > 0 && rep.LagSeconds > maxLag.Seconds() {
+		return fmt.Errorf("follower stalled: %d revisions behind for %.1fs (max-lag %s)",
+			rep.LagRevisions, rep.LagSeconds, maxLag)
+	}
+	return nil
 }
 
 func printJSON(v interface{}) error {
@@ -197,6 +233,9 @@ func sdkClient(c *plus.Client, viewer, token string) *plusclient.Client {
 	if token != "" {
 		opts = append(opts, plusclient.WithToken(token))
 	}
+	// Inherit the v1 client's transport so -tls-ca trust applies to the
+	// SDK surface too.
+	opts = append(opts, plusclient.WithHTTPClient(c.HTTPClient()))
 	return plusclient.New(c.BaseURL(), opts...)
 }
 
@@ -301,6 +340,7 @@ func healthzExit(h plus.HealthzResponse) error {
 func run() error {
 	server := flag.String("server", "http://localhost:7337", "plusd base URL")
 	token := flag.String("token", "", "signed session token sent with every request (X-Plus-Session)")
+	tlsCA := flag.String("tls-ca", "", "PEM CA bundle verifying an https server (self-signed chains)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -308,6 +348,13 @@ func run() error {
 	}
 	c := plus.NewClient(*server)
 	c.SetToken(*token)
+	if *tlsCA != "" {
+		hc, err := plusclient.NewTLSHTTPClient(*tlsCA)
+		if err != nil {
+			return err
+		}
+		c.SetHTTPClient(hc)
+	}
 	return execute(c, args[0], args[1:])
 }
 
@@ -487,6 +534,9 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 		}
 		return printJSON(entries)
 	case "status":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		maxLag := fs.Duration("max-lag", 0, "exit non-zero when a follower has been stalled longer than this (0 = off)")
+		_ = fs.Parse(rest)
 		h, err := c.Healthz()
 		if err != nil {
 			return err
@@ -494,7 +544,10 @@ func execute(c *plus.Client, cmd string, rest []string) error {
 		if err := printStatus(os.Stdout, h); err != nil {
 			return err
 		}
-		return healthzExit(h)
+		if err := healthzExit(h); err != nil {
+			return err
+		}
+		return replicaExit(h, *maxLag)
 	case "healthz":
 		h, err := c.Healthz()
 		if err != nil {

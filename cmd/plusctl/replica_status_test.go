@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/plus"
+)
+
+// TestPrintStatusReplicaBlock renders the replication section of plusctl
+// status for a follower's healthz payload.
+func TestPrintStatusReplicaBlock(t *testing.T) {
+	h := plus.HealthzResponse{
+		Status: "ok", Objects: 5, Edges: 3, Revision: 40,
+		Replica: &plus.ReplicaHealth{
+			Role: "follower", Primary: "https://primary:7337", State: "following",
+			AppliedRev: 38, PrimaryRev: 40, LagRevisions: 2, LagSeconds: 0.4,
+			Applied: 120, Batches: 9, ApplyPerSec: 33.5,
+			Resyncs: 1, Reconnects: 2,
+		},
+	}
+	out := captureStatus(t, h)
+	for _, want := range []string{
+		"replication", "follower of https://primary:7337 (following)",
+		"applied", "38 of 40 (lag 2 revisions, 0.4s)",
+		"120 events in 9 batches, 33.5/s",
+		"1 resyncs, 2 reconnects",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A primary's payload has no replica block and status must not render one.
+func TestPrintStatusNoReplicaBlockOnPrimary(t *testing.T) {
+	out := captureStatus(t, plus.HealthzResponse{Status: "ok"})
+	if strings.Contains(out, "replication") {
+		t.Errorf("primary status rendered a replication block:\n%s", out)
+	}
+}
+
+func captureStatus(t *testing.T, h plus.HealthzResponse) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := printStatus(w, h); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	buf := make([]byte, 8192)
+	n, _ := r.Read(buf)
+	return string(buf[:n])
+}
+
+// TestReplicaExit covers the -max-lag probe semantics: only a follower
+// continuously behind for longer than the bound (or one whose
+// replication stopped) turns status into a non-zero exit.
+func TestReplicaExit(t *testing.T) {
+	lagging := &plus.ReplicaHealth{State: "following", LagRevisions: 7, LagSeconds: 12.5}
+	cases := []struct {
+		name    string
+		h       plus.HealthzResponse
+		maxLag  time.Duration
+		wantErr string
+	}{
+		{"primary payload is exempt", plus.HealthzResponse{}, time.Second, ""},
+		{"zero max-lag disables the probe", plus.HealthzResponse{Replica: lagging}, 0, ""},
+		{"caught-up follower passes",
+			plus.HealthzResponse{Replica: &plus.ReplicaHealth{State: "following"}}, time.Second, ""},
+		{"briefly-behind follower passes",
+			plus.HealthzResponse{Replica: &plus.ReplicaHealth{State: "following", LagRevisions: 3, LagSeconds: 0.2}},
+			time.Second, ""},
+		{"stalled follower fails",
+			plus.HealthzResponse{Replica: lagging}, time.Second, "follower stalled"},
+		{"failed follower fails regardless of lag",
+			plus.HealthzResponse{Replica: &plus.ReplicaHealth{State: "failed"}}, time.Second, "follower failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := replicaExit(tc.h, tc.maxLag)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("replicaExit = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("replicaExit = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -6,6 +6,9 @@
 //	plusd -db /var/lib/plus.log -addr :7337 [-backend log|mem] [-lattice lattice.json] [-sync]
 //	      [-auth-keys keyring] [-auth-anonymous] [-session-ttl 1h]
 //	      [-slow-query 50ms] [-request-log] [-pprof localhost:6060]
+//	      [-tls cert.pem,key.pem | -tls-self-signed DIR] [-tls-ca ca.pem]
+//	      [-follow https://primary:7337 [-follow-token T] [-follow-proxy-writes] [-follow-state F]
+//	       [-follow-coalesce 100ms]]
 //
 // The -backend flag selects the storage engine: "log" (default) is the
 // durable CRC-guarded append-only log at -db; "mem" is the sharded
@@ -49,6 +52,31 @@
 // the API's auth (bind it to localhost). SIGHUP reloads -auth-keys in
 // place, so keys rotate without dropping a request.
 //
+// Replication: -follow URL runs the daemon as a read replica of that
+// primary (internal/replica documents the mechanics). Boot bootstraps
+// the local backend from the primary's snapshot — or, with a durable
+// backend and its -follow-state cursor file (default <db>.replica for
+// the log backend), resumes exactly where it stopped — then applies the
+// primary's change feed continuously, resyncing automatically when the
+// cursor falls behind. The privilege lattice is adopted from the
+// primary (-lattice is ignored). Every query endpoint serves locally;
+// writes answer a structured 403 "read_only", or are forwarded to the
+// primary with -follow-proxy-writes. -follow-token carries the
+// replication credential (a session with the replicate capability,
+// minted from the shared keyring); followers sharing the primary's
+// -auth-keys keyring verify client tokens locally. -follow-coalesce D
+// turns on group commit: replicated changes buffer up to D before one
+// batched local apply, trading that much extra read staleness for far
+// fewer cache invalidations under heavy primary ingest. Replication
+// state is visible in /v1/healthz ("replica" block), the plus_replica_*
+// metrics and `plusctl status`.
+//
+// TLS: -tls cert.pem,key.pem serves the API over HTTPS; -tls-self-signed
+// DIR generates (once) and serves a self-signed pair whose cert.pem
+// doubles as the CA bundle clients verify with (plusctl/SDK -tls-ca).
+// -tls-ca verifies this daemon's own outbound link to an https -follow
+// primary.
+//
 // The lattice file is a JSON array of [dominator, dominated] predicate
 // pairs, e.g. [["High-1","Low-2"],["High-2","Low-2"]]; "Public" is the
 // implicit bottom. Without -lattice the server uses the two-level
@@ -56,6 +84,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -64,6 +93,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +101,8 @@ import (
 	"repro/internal/plus"
 	"repro/internal/plusql"
 	"repro/internal/privilege"
+	"repro/internal/replica"
+	"repro/pkg/plusclient"
 )
 
 // buildAuth resolves the -auth-* flags into the server's trust
@@ -113,6 +145,39 @@ func loadLattice(path string) (*privilege.Lattice, error) {
 	return lat, nil
 }
 
+// splitTLSPair parses the -tls flag's "cert.pem,key.pem".
+func splitTLSPair(s string) (cert, key string, err error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+		return "", "", fmt.Errorf(`-tls wants "cert.pem,key.pem", got %q`, s)
+	}
+	return strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), nil
+}
+
+// listenAndServe starts the API listener, plain or under TLS depending
+// on the -tls/-tls-self-signed flags.
+func listenAndServe(addr string, h http.Handler, tlsPair, tlsSelfDir string) error {
+	switch {
+	case tlsPair != "" && tlsSelfDir != "":
+		return fmt.Errorf("-tls and -tls-self-signed are mutually exclusive")
+	case tlsPair != "":
+		cert, key, err := splitTLSPair(tlsPair)
+		if err != nil {
+			return err
+		}
+		return http.ListenAndServeTLS(addr, cert, key, h)
+	case tlsSelfDir != "":
+		cert, key, err := plus.WriteSelfSignedCert(tlsSelfDir)
+		if err != nil {
+			return err
+		}
+		log.Printf("plusd: serving TLS with self-signed %s (hand it to clients as -tls-ca)", cert)
+		return http.ListenAndServeTLS(addr, cert, key, h)
+	default:
+		return http.ListenAndServe(addr, h)
+	}
+}
+
 // openBackend builds the storage engine the -backend flag selected.
 func openBackend(kind, db string, shards, horizon int, sync bool) (plus.Backend, error) {
 	switch kind {
@@ -146,12 +211,16 @@ func run() error {
 	slowLogSize := flag.Int("slow-query-log-size", 128, "slow-query ring capacity")
 	requestLog := flag.Bool("request-log", false, "write a structured (JSON) log line per request to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
+	follow := flag.String("follow", "", "run as a read replica of this primary base URL")
+	followToken := flag.String("follow-token", "", "session token for the primary link (needs the replicate capability)")
+	followProxy := flag.Bool("follow-proxy-writes", false, "forward writes to the primary instead of answering 403 read_only")
+	followState := flag.String("follow-state", "", "replication cursor file (default <db>.replica for the log backend)")
+	followCoalesce := flag.Duration("follow-coalesce", 0, "group-commit window for applying replicated changes: trade up to this much extra read staleness for batched applies (0 = apply per sync)")
+	tlsPair := flag.String("tls", "", `serve HTTPS with this "cert.pem,key.pem" pair`)
+	tlsSelf := flag.String("tls-self-signed", "", "generate (once) a self-signed cert/key pair in this directory and serve HTTPS with it")
+	tlsCA := flag.String("tls-ca", "", "PEM CA bundle verifying the outbound https -follow link")
 	flag.Parse()
 
-	lat, err := loadLattice(*latticePath)
-	if err != nil {
-		return err
-	}
 	auth, err := buildAuth(*authKeys, *authAnon, *sessionTTL, *maxTTL)
 	if err != nil {
 		return err
@@ -177,16 +246,80 @@ func run() error {
 	telemetry := plus.NewObservability(reg, slow, reqLogger)
 	observed := plus.NewObserveBackend(backend, reg)
 
+	// Follower mode: bootstrap (or resume) the local store from the
+	// primary before any engine sees it, and adopt the primary's
+	// lattice so protection decisions agree across the fleet.
+	var lat *privilege.Lattice
+	var rep *replica.Replica
+	var extraOpts []plus.ServerOption
+	if *follow != "" {
+		if *latticePath != "" {
+			log.Printf("plusd: -lattice ignored in follower mode (lattice adopted from the primary)")
+		}
+		statePath := *followState
+		if statePath == "" && *backendKind == "log" {
+			statePath = replica.DefaultStatePath(*db)
+		}
+		rep, err = replica.New(replica.Config{
+			Primary:   *follow,
+			Token:     *followToken,
+			CAFile:    *tlsCA,
+			Backend:   observed,
+			StatePath: statePath,
+			Coalesce:  *followCoalesce,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		if err := rep.Start(context.Background()); err != nil {
+			return err
+		}
+		lat = rep.Lattice()
+		rep.RegisterMetrics(reg)
+		extraOpts = append(extraOpts, plus.WithReplicaHealth(rep.Health))
+		if *followProxy {
+			var phc *http.Client
+			if *tlsCA != "" {
+				if phc, err = plusclient.NewTLSHTTPClient(*tlsCA); err != nil {
+					return err
+				}
+			}
+			proxy, perr := replica.WriteProxy(*follow, phc)
+			if perr != nil {
+				return perr
+			}
+			extraOpts = append(extraOpts, plus.WithReadOnly(proxy))
+		} else {
+			extraOpts = append(extraOpts, plus.WithReadOnly(nil))
+		}
+	} else {
+		if lat, err = loadLattice(*latticePath); err != nil {
+			return err
+		}
+	}
+
 	engine := plus.NewEngine(observed, lat)
+	opts := append([]plus.ServerOption{plus.WithAuth(auth), plus.WithObservability(telemetry)}, extraOpts...)
 	var srv *plus.Server
 	if *cache {
-		srv = plus.NewCachedServer(plus.NewCachedEngine(engine),
-			plus.WithAuth(auth), plus.WithObservability(telemetry))
+		srv = plus.NewCachedServer(plus.NewCachedEngine(engine), opts...)
 	} else {
-		srv = plus.NewServer(engine, plus.WithAuth(auth), plus.WithObservability(telemetry))
+		srv = plus.NewServer(engine, opts...)
 	}
 	// PLUSQL declarative queries: POST /v1/query and POST /v2/query.
 	plusql.Attach(srv, plusql.NewEngine(observed, lat))
+
+	// The apply loop runs for the life of the process: it keeps serving
+	// the last applied state and retrying through primary outages, so
+	// only divergence (unrecoverable by definition) stops it.
+	if rep != nil {
+		go func() {
+			if err := rep.Run(context.Background()); err != nil {
+				log.Printf("plusd: replication stopped: %v", err)
+			}
+		}()
+	}
 
 	// SIGHUP swaps the keyring in place (key rotation without dropping
 	// a request); meaningless without -auth-keys.
@@ -226,9 +359,13 @@ func run() error {
 	case auth.Require:
 		mode = fmt.Sprintf("authenticated (keys %v)", auth.Keyring.KeyIDs())
 	}
-	log.Printf("plusd: serving %s backend on %s (%d objects, %d edges, cache=%v, epoch=%s, auth=%s)",
-		*backendKind, *addr, backend.NumObjects(), backend.NumEdges(), *cache, backend.Epoch(), mode)
-	return http.ListenAndServe(*addr, srv)
+	role := "primary"
+	if rep != nil {
+		role = fmt.Sprintf("follower of %s", *follow)
+	}
+	log.Printf("plusd: serving %s backend on %s as %s (%d objects, %d edges, cache=%v, epoch=%s, auth=%s)",
+		*backendKind, *addr, role, backend.NumObjects(), backend.NumEdges(), *cache, backend.Epoch(), mode)
+	return listenAndServe(*addr, srv, *tlsPair, *tlsSelf)
 }
 
 func main() {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitTLSPair(t *testing.T) {
+	cases := []struct {
+		in        string
+		cert, key string
+		wantErr   bool
+	}{
+		{"cert.pem,key.pem", "cert.pem", "key.pem", false},
+		{" cert.pem , key.pem ", "cert.pem", "key.pem", false},
+		{"/a/cert.pem,/a/key.pem", "/a/cert.pem", "/a/key.pem", false},
+		{"cert.pem", "", "", true},
+		{"", "", "", true},
+		{"cert.pem,", "", "", true},
+		{",key.pem", "", "", true},
+		{" , ", "", "", true},
+	}
+	for _, tc := range cases {
+		cert, key, err := splitTLSPair(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("splitTLSPair(%q) = %q,%q, want error", tc.in, cert, key)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("splitTLSPair(%q): %v", tc.in, err)
+			continue
+		}
+		if cert != tc.cert || key != tc.key {
+			t.Errorf("splitTLSPair(%q) = %q,%q, want %q,%q", tc.in, cert, key, tc.cert, tc.key)
+		}
+	}
+}
+
+// The two TLS serving modes are mutually exclusive, and a malformed -tls
+// pair must fail before any listener binds.
+func TestListenAndServeTLSFlagErrors(t *testing.T) {
+	if err := listenAndServe("127.0.0.1:0", nil, "c.pem,k.pem", "/tmp/dir"); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("both TLS flags: err = %v, want mutual-exclusion error", err)
+	}
+	if err := listenAndServe("127.0.0.1:0", nil, "only-cert.pem", ""); err == nil ||
+		!strings.Contains(err.Error(), "-tls wants") {
+		t.Errorf("malformed -tls: err = %v, want parse error", err)
+	}
+}

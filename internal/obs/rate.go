@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// meterTau is the decay time constant: a Meter's rate forgets a burst
+// with a ~10s half-life-ish horizon, so Rate answers "events per second,
+// recently" rather than a lifetime average.
+const meterTau = 10 * time.Second
+
+// Meter tracks a recent event rate with exponential decay — the piece a
+// replication apply loop needs that counters cannot provide: "how fast
+// are events flowing *now*". Mark adds events; Rate reports the decayed
+// events-per-second. The zero value is ready; a nil *Meter is a no-op,
+// matching the package's nil-safety contract.
+type Meter struct {
+	mu sync.Mutex
+	// weight is the exponentially decayed event mass; dividing by the
+	// time constant yields the rate (a steady r events/s converges the
+	// mass to r*tau).
+	weight float64
+	last   time.Time
+}
+
+// Mark records n events at the current time.
+func (m *Meter) Mark(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.decayLocked(time.Now())
+	m.weight += float64(n)
+	m.mu.Unlock()
+}
+
+// Rate reports the decayed event rate in events per second.
+func (m *Meter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decayLocked(time.Now())
+	return m.weight / meterTau.Seconds()
+}
+
+func (m *Meter) decayLocked(now time.Time) {
+	if m.last.IsZero() {
+		m.last = now
+		return
+	}
+	if dt := now.Sub(m.last); dt > 0 {
+		m.weight *= math.Exp(-dt.Seconds() / meterTau.Seconds())
+		m.last = now
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterSteadyRate(t *testing.T) {
+	m := &Meter{}
+	// Simulate 100 events/s for 60 virtual seconds by driving the clock
+	// through decayLocked directly.
+	now := time.Unix(1000, 0)
+	m.mu.Lock()
+	m.last = now
+	m.mu.Unlock()
+	for i := 0; i < 600; i++ {
+		now = now.Add(100 * time.Millisecond)
+		m.mu.Lock()
+		m.decayLocked(now)
+		m.weight += 10
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.decayLocked(now)
+	rate := m.weight / meterTau.Seconds()
+	m.mu.Unlock()
+	if rate < 80 || rate > 120 {
+		t.Fatalf("steady 100/s drive converged to %.1f/s", rate)
+	}
+}
+
+func TestMeterDecaysToZero(t *testing.T) {
+	m := &Meter{}
+	m.Mark(1000)
+	m.mu.Lock()
+	m.decayLocked(m.last.Add(10 * meterTau))
+	rate := m.weight / meterTau.Seconds()
+	m.mu.Unlock()
+	if rate > 0.01 {
+		t.Fatalf("rate %.4f after 10 time constants; want ~0", rate)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Mark(5)
+	if r := m.Rate(); r != 0 {
+		t.Fatalf("nil meter rate = %v", r)
+	}
+}

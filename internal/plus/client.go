@@ -31,6 +31,18 @@ func (c *Client) BaseURL() string { return c.base }
 // auth-required server.
 func (c *Client) SetToken(token string) { c.token = token }
 
+// SetHTTPClient substitutes the transport — how plusctl verifies an
+// https server through a custom CA bundle (-tls-ca). nil is ignored.
+func (c *Client) SetHTTPClient(h *http.Client) {
+	if h != nil {
+		c.http = h
+	}
+}
+
+// HTTPClient reports the transport in use, so callers can hand the same
+// one (and its TLS trust) to the v2 SDK.
+func (c *Client) HTTPClient() *http.Client { return c.http }
+
 // Token reports the attached session token ("" when none).
 func (c *Client) Token() string { return c.token }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/account"
 	"repro/internal/graph"
+	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/privilege"
@@ -79,6 +80,25 @@ type Result struct {
 	Spec    *account.Spec
 	Account *account.Account
 	Timing  Timing
+
+	// utilOnce memoises the §4.1 utility measures: PathUtility walks the
+	// whole reachability of both graphs (quadratic in the answer size),
+	// and a cache-served answer is asked for the same numbers on every
+	// request.
+	utilOnce sync.Once
+	pathUtil float64
+	nodeUtil float64
+}
+
+// Utilities returns the §4.1 path/node utility of the protected answer,
+// computed on first use and reused for every later serving of the same
+// Result (cached answers are shared and read-only).
+func (r *Result) Utilities() (path, node float64) {
+	r.utilOnce.Do(func() {
+		r.pathUtil = measure.PathUtility(r.Spec, r.Account)
+		r.nodeUtil = measure.NodeUtility(r.Spec, r.Account)
+	})
+	return r.pathUtil, r.nodeUtil
 }
 
 // Engine answers lineage queries against a storage backend under a

@@ -68,6 +68,14 @@ type Server struct {
 	// counters in the healthz payload without this package importing the
 	// query subsystem.
 	queryStats func() QueryCacheHealth
+
+	// readOnly is the follower-mode write policy (WithReadOnly): refuse
+	// or proxy mutations so only the replication loop writes the store.
+	readOnly readOnly
+
+	// replicaHealth, when set (WithReplicaHealth), supplies the healthz
+	// replication block without this package importing internal/replica.
+	replicaHealth func() *ReplicaHealth
 }
 
 // ServerOption configures NewServer/NewCachedServer.
@@ -248,6 +256,9 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
+	if s.gateWrite(w, r) {
+		return
+	}
 	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
@@ -298,6 +309,9 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
+	if s.gateWrite(w, r) {
+		return
+	}
 	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
@@ -317,6 +331,9 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSurrogates(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if s.gateWrite(w, r) {
 		return
 	}
 	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
@@ -436,6 +453,9 @@ func (s *Server) handleOPM(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 		}
 	case http.MethodPost:
+		if s.gateWrite(w, r) {
+			return
+		}
 		if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
 			WriteAPIError(w, apiErr)
 			return
@@ -539,6 +559,8 @@ type HealthzResponse struct {
 	// ChangeFeed reports feed retention state (epoch, revision, resident
 	// window) so followers can compute lag without guessing.
 	ChangeFeed *ChangeFeedHealth `json:"changeFeed,omitempty"`
+	// Replica reports replication state (present only on followers).
+	Replica *ReplicaHealth `json:"replica,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -574,6 +596,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.QueryCache = &st
 	}
 	resp.ChangeFeed = s.changeFeedHealth()
+	if s.replicaHealth != nil {
+		resp.Replica = s.replicaHealth()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

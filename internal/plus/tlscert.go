@@ -1,0 +1,93 @@
+package plus
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SelfSignedCert mints an ECDSA P-256 serving certificate for hosts
+// (DNS names or IP literals; defaults to localhost/127.0.0.1/::1). The
+// certificate is its own chain — self-signed with CA:true — so the same
+// cert.pem both serves TLS and verifies it when handed to clients as the
+// CA bundle (-tls-ca). It is a deployment convenience for single-host
+// and test topologies, not a PKI: production fleets bring their own
+// certificates via plusd -tls.
+func SelfSignedCert(hosts ...string) (certPEM, keyPEM []byte, err error) {
+	if len(hosts) == 0 {
+		hosts = []string{"localhost", "127.0.0.1", "::1"}
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plus: tls key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, nil, fmt.Errorf("plus: tls serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "plusd self-signed", Organization: []string{"PLUS"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(2 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plus: tls cert: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plus: tls key: %w", err)
+	}
+	certPEM = pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM = pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	return certPEM, keyPEM, nil
+}
+
+// WriteSelfSignedCert materialises cert.pem/key.pem in dir (created as
+// needed), generating them once: existing files are kept so restarts
+// keep their identity and clients keep their pinned CA. It returns the
+// two paths (plusd -tls-self-signed).
+func WriteSelfSignedCert(dir string, hosts ...string) (certPath, keyPath string, err error) {
+	certPath = filepath.Join(dir, "cert.pem")
+	keyPath = filepath.Join(dir, "key.pem")
+	_, cerr := os.Stat(certPath)
+	_, kerr := os.Stat(keyPath)
+	if cerr == nil && kerr == nil {
+		return certPath, keyPath, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("plus: tls dir: %w", err)
+	}
+	certPEM, keyPEM, err := SelfSignedCert(hosts...)
+	if err != nil {
+		return "", "", err
+	}
+	if err := os.WriteFile(certPath, certPEM, 0o644); err != nil {
+		return "", "", fmt.Errorf("plus: write cert: %w", err)
+	}
+	if err := os.WriteFile(keyPath, keyPEM, 0o600); err != nil {
+		return "", "", fmt.Errorf("plus: write key: %w", err)
+	}
+	return certPath, keyPath, nil
+}

@@ -1,0 +1,108 @@
+package plus
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/pem"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSelfSignedCertHandshake(t *testing.T) {
+	certPEM, keyPEM, err := SelfSignedCert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		t.Fatalf("generated pair does not load: %v", err)
+	}
+
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	ts.TLS = &tls.Config{Certificates: []tls.Certificate{pair}}
+	ts.StartTLS()
+	defer ts.Close()
+
+	// The cert doubles as its own CA bundle: trusting cert.pem alone must
+	// complete the handshake (that is what -tls-ca hands to clients).
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(certPEM) {
+		t.Fatal("cert.pem not usable as a CA bundle")
+	}
+	hc := &http.Client{Transport: &http.Transport{TLSClientConfig: &tls.Config{RootCAs: pool}}}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("handshake with cert-as-CA failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// An empty pool must refuse: the cert is self-signed, not public.
+	hc = &http.Client{Transport: &http.Transport{TLSClientConfig: &tls.Config{RootCAs: x509.NewCertPool()}}}
+	if resp, err := hc.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("handshake succeeded without trusting the cert")
+	}
+}
+
+func TestSelfSignedCertCustomHosts(t *testing.T) {
+	certPEM, _, err := SelfSignedCert("replica-1.internal", "10.0.0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := decodeFirstCert(t, certPEM)
+	if err := cert.VerifyHostname("replica-1.internal"); err != nil {
+		t.Errorf("DNS SAN missing: %v", err)
+	}
+	if err := cert.VerifyHostname("10.0.0.7"); err != nil {
+		t.Errorf("IP SAN missing: %v", err)
+	}
+	if err := cert.VerifyHostname("localhost"); err == nil {
+		t.Error("custom-host cert unexpectedly covers localhost")
+	}
+}
+
+func decodeFirstCert(t *testing.T, certPEM []byte) *x509.Certificate {
+	t.Helper()
+	block, _ := pem.Decode(certPEM)
+	if block == nil {
+		t.Fatal("bad PEM")
+	}
+	cert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert
+}
+
+func TestWriteSelfSignedCertIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	certPath, keyPath, err := WriteSelfSignedCert(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(certPath) != dir || filepath.Dir(keyPath) != dir {
+		t.Fatalf("paths outside dir: %s %s", certPath, keyPath)
+	}
+	first, err := os.ReadFile(certPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second call must keep the existing material, or every restart
+	// would invalidate the CA file already distributed to clients.
+	if _, _, err := WriteSelfSignedCert(dir); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(certPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("restart regenerated the certificate")
+	}
+}

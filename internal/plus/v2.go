@@ -10,7 +10,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/measure"
 	"repro/internal/privilege"
 )
 
@@ -269,6 +268,9 @@ const maxBatchBytes = 64 << 20
 func (s *Server) handleV2Batch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if s.gateWrite(w, r) {
 		return
 	}
 	if _, apiErr := s.Authorize(r, CapIngest); apiErr != nil {
@@ -618,6 +620,9 @@ func (s *Server) handleV2Compact(w http.ResponseWriter, r *http.Request) {
 		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
+	if s.gateWrite(w, r) {
+		return
+	}
 	if _, apiErr := s.Authorize(r, CapAdmin); apiErr != nil {
 		WriteAPIError(w, apiErr)
 		return
@@ -689,13 +694,14 @@ func parseLineageParams(q interface{ Get(string) string }) (Request, error) {
 // buildLineageResponse renders a protected lineage answer as the wire
 // response shared by both API versions.
 func buildLineageResponse(req Request, res *Result) LineageResponse {
+	pathUtil, nodeUtil := res.Utilities()
 	resp := LineageResponse{
 		Start:       req.Start,
 		StartName:   req.StartName,
 		Viewer:      string(req.Viewer),
 		Mode:        string(req.Mode),
-		PathUtility: measure.PathUtility(res.Spec, res.Account),
-		NodeUtility: measure.NodeUtility(res.Spec, res.Account),
+		PathUtility: pathUtil,
+		NodeUtility: nodeUtil,
 		Timing: LineageTiming{
 			DBAccessUS: res.Timing.DBAccess.Microseconds(),
 			BuildUS:    res.Timing.Build.Microseconds(),

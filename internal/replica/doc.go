@@ -1,0 +1,46 @@
+// Package replica turns a plusd process into a read replica of another
+// plusd (the primary): the read scale-out topology of the PLUS
+// provenance store. See the README's "Replication" section for the
+// operator view; this note covers the mechanics.
+//
+// A Replica owns a local Backend that only its apply loop writes.
+// Start bootstraps it: a fresh store downloads GET /v2/snapshot and
+// applies the whole graph (adopting the primary's privilege lattice
+// from the payload), while a durable store that kept its cursor state
+// file resumes exactly where it stopped, without re-downloading. Run
+// then follows the primary's change feed through the SDK's Follow —
+// jittered-backoff reconnects, automatic 410 snapshot resync —
+// coalescing change events into batched local Apply calls, so a
+// follower pays a fraction of the per-record cost the primary paid to
+// ingest the same data. Config.Coalesce (plusd -follow-coalesce) extends
+// the batching into group commit: buffered events are held up to that
+// window before one batched apply, so a follower under continuous
+// primary ingest collapses many writes into one cache-invalidation round
+// and keeps serving mostly-cached reads — at the price of reads trailing
+// the primary by at most the window plus apply time. Every query surface (lineage, PLUSQL, point
+// reads, the follower's own snapshots/changes) is served locally from
+// the replicated store; writes are refused with a structured 403
+// "read_only" or, behind -follow-proxy-writes, forwarded verbatim to
+// the primary (WriteProxy).
+//
+// Consistency model. Apply is idempotent: before each local batch the
+// loop drops records the store already holds (byte-equal objects,
+// present (from,to) edges, deep-equal surrogate specs), so
+// at-least-once delivery — a crash between data apply and cursor flush,
+// a replayed cursor — converges to exactly-once effect. A 410 resync
+// diff-applies the snapshot against local state as ordinary writes,
+// which keeps revisions monotonic (caches stay valid) and restores
+// live-state parity; condensed object history and byte-identical
+// re-puts are the documented approximations. A local record the
+// primary does not have is divergence: the loop stops with ErrDiverged
+// rather than serve answers two stores disagree on.
+//
+// Lag accounting. appliedRev tracks the last primary revision applied
+// locally; primaryRev the newest primary revision observed (change
+// events, sync events, and a periodic healthz poll). Their difference
+// is the lag in revisions; the wall-clock lag is how long the follower
+// has continuously been behind. Both are exported through Health (the
+// healthz "replica" block, which plusctl status renders and its
+// -max-lag flag alerts on) and RegisterMetrics (the plus_replica_*
+// series).
+package replica

@@ -1,0 +1,41 @@
+package replica
+
+import "repro/internal/obs"
+
+// RegisterMetrics exports the plus_replica_* series on reg (nil-safe),
+// mirroring the Health block so dashboards and probes read the same
+// numbers. Gauges and counters are render-time callbacks — the replica
+// already maintains the state atomically, so scrapes cost no extra
+// bookkeeping on the apply path.
+func (r *Replica) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("plus_replica_applied_revision",
+		"Last primary revision applied to the local store.",
+		func() float64 { return float64(r.appliedRev.Load()) })
+	reg.GaugeFunc("plus_replica_primary_revision",
+		"Newest primary revision the follower has observed.",
+		func() float64 { return float64(r.primaryRev.Load()) })
+	reg.GaugeFunc("plus_replica_lag_revisions",
+		"Replication lag in revisions (primary - applied).",
+		func() float64 { return float64(r.Health().LagRevisions) })
+	reg.GaugeFunc("plus_replica_lag_seconds",
+		"How long the follower has continuously been behind the primary.",
+		func() float64 { return r.Health().LagSeconds })
+	reg.GaugeFunc("plus_replica_apply_per_sec",
+		"Recent change-event apply throughput (events/s, decayed).",
+		func() float64 { return r.meter.Rate() })
+	reg.CounterFunc("plus_replica_applied_total",
+		"Change events applied to the local store since boot.",
+		func() float64 { return float64(r.applied.Load()) })
+	reg.CounterFunc("plus_replica_apply_batches_total",
+		"Local Apply calls the change events were coalesced into.",
+		func() float64 { return float64(r.batches.Load()) })
+	reg.CounterFunc("plus_replica_resyncs_total",
+		"Snapshot rebases (410 resyncs plus apply-failure heals).",
+		func() float64 { return float64(r.stats.Resyncs() + r.extraResyncs.Load()) })
+	reg.CounterFunc("plus_replica_reconnects_total",
+		"Change-feed transport reconnects.",
+		func() float64 { return float64(r.stats.Reconnects()) })
+}

@@ -1,0 +1,37 @@
+package replica
+
+import (
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+
+	"repro/internal/plus"
+)
+
+// WriteProxy builds the handler a follower mounts behind
+// -follow-proxy-writes: refused writes are forwarded verbatim — auth
+// headers intact, so the primary authorizes the original principal —
+// to the primary, whose answer (including its cursor) flows back
+// unchanged. The follower itself observes the write later through the
+// change feed; callers reading their own writes back must target the
+// primary or wait out the lag. hc supplies the transport (its TLS
+// trust in particular); nil uses the default.
+func WriteProxy(primary string, hc *http.Client) (http.Handler, error) {
+	u, err := url.Parse(primary)
+	if err != nil {
+		return nil, err
+	}
+	p := httputil.NewSingleHostReverseProxy(u)
+	if hc != nil && hc.Transport != nil {
+		p.Transport = hc.Transport
+	}
+	p.ErrorLog = nil
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		plus.WriteAPIError(w, &plus.APIError{
+			Status:  http.StatusBadGateway,
+			Code:    plus.CodeUnavailable,
+			Message: "plus: primary unreachable: " + err.Error(),
+		})
+	}
+	return p, nil
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package replica
+
+// raceEnabled reports whether the race detector is compiled in; the
+// scaling benchmark skips under it (its numbers would be meaningless).
+const raceEnabled = false

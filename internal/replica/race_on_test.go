@@ -1,0 +1,5 @@
+//go:build race
+
+package replica
+
+const raceEnabled = true

@@ -52,6 +52,11 @@ type Client struct {
 	http   *http.Client
 	viewer string
 
+	// initErr holds a deferred option failure (e.g. WithCAFile on an
+	// unreadable bundle): New stays infallible, and the first request
+	// surfaces the problem instead of silently skipping verification.
+	initErr error
+
 	// mu guards the session fields below.
 	mu sync.Mutex
 	// session is the current bearer token (X-Plus-Session).
@@ -188,6 +193,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 }
 
 func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	if c.initErr != nil {
+		return nil, c.initErr
+	}
 	c.maybeRefresh(ctx)
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
@@ -238,6 +246,9 @@ func (c *Client) maybeRefresh(ctx context.Context) {
 // session state so refresh cannot recurse.
 func (c *Client) mintWith(ctx context.Context, token string, req plus.SessionRequest) (plus.SessionResponse, error) {
 	var resp plus.SessionResponse
+	if c.initErr != nil {
+		return resp, c.initErr
+	}
 	data, err := json.Marshal(req)
 	if err != nil {
 		return resp, fmt.Errorf("plusclient: encode: %w", err)

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/plus"
@@ -176,6 +178,24 @@ type handlerError struct{ err error }
 func (e *handlerError) Error() string { return e.err.Error() }
 func (e *handlerError) Unwrap() error { return e.err }
 
+// FollowStats counts a Follow loop's recoveries, so long-lived
+// consumers (a read replica's apply loop) can export them. The zero
+// value is ready; the counters are atomic, so reading them while Follow
+// runs is race-free. One FollowStats can be shared across sequential
+// Follow calls — the counters accumulate.
+type FollowStats struct {
+	reconnects atomic.Uint64
+	resyncs    atomic.Uint64
+}
+
+// Reconnects counts transport-failure (and 503) reconnects: each backoff
+// sleep before resuming from the last delivered cursor.
+func (s *FollowStats) Reconnects() uint64 { return s.reconnects.Load() }
+
+// Resyncs counts 410-triggered snapshot resyncs (EventResync deliveries,
+// plus resync attempts whose snapshot fetch failed).
+func (s *FollowStats) Resyncs() uint64 { return s.resyncs.Load() }
+
 // FollowOptions tune Follow.
 type FollowOptions struct {
 	// Wait is the per-connection long-poll budget (default 10s). Each
@@ -187,23 +207,47 @@ type FollowOptions struct {
 	DisableResync bool
 	// MaxReconnectDelay caps the transport-failure backoff (default 2s).
 	MaxReconnectDelay time.Duration
+	// Stats, when non-nil, receives the loop's reconnect/resync counts.
+	Stats *FollowStats
+}
+
+// backoffSleep sleeps a uniformly jittered duration in [delay/2, delay]
+// — full doubling would synchronise a fleet of followers into retry
+// convoys against a recovering primary — and returns the next (doubled,
+// capped) delay. It reports false when ctx ended first.
+func backoffSleep(ctx context.Context, delay, cap time.Duration) (time.Duration, bool) {
+	d := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+	select {
+	case <-ctx.Done():
+		return delay, false
+	case <-time.After(d):
+	}
+	if delay *= 2; delay > cap {
+		delay = cap
+	}
+	return delay, true
 }
 
 // Follow streams the change feed from cursor (empty = beginning of
 // history) until ctx is cancelled or the handler returns an error
 // (ErrStopFollow stops cleanly and returns nil). The handler sees every
 // change and sync event in order; transport failures reconnect with
-// backoff from the last delivered cursor, and a 410 triggers an automatic
-// snapshot resync delivered as one EventResync unless DisableResync is
-// set. Exactly-once delivery holds for change events across reconnects
-// and server restarts of durable backends: the resume cursor always names
-// the last event the handler saw.
+// jittered exponential backoff from the last delivered cursor, and a 410
+// triggers an automatic snapshot resync delivered as one EventResync
+// unless DisableResync is set. Exactly-once delivery holds for change
+// events across reconnects and server restarts of durable backends: the
+// resume cursor always names the last event the handler saw. Recovery
+// activity is counted on opts.Stats when provided.
 func (c *Client) Follow(ctx context.Context, cursor string, opts FollowOptions, fn func(Event) error) error {
 	if opts.Wait <= 0 {
 		opts.Wait = 10 * time.Second
 	}
 	if opts.MaxReconnectDelay <= 0 {
 		opts.MaxReconnectDelay = 2 * time.Second
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &FollowStats{}
 	}
 	cur := cursor
 	delay := 50 * time.Millisecond
@@ -232,17 +276,14 @@ func (c *Client) Follow(ctx context.Context, cursor string, opts FollowOptions, 
 			if opts.DisableResync {
 				return err
 			}
+			stats.resyncs.Add(1)
 			// Back off before fetching: a consumer that cannot outrun the
 			// change horizon would otherwise loop full-snapshot downloads
 			// at wire speed. The delay resets on the next clean poll, so a
-			// one-off resync pays ~50ms.
-			select {
-			case <-ctx.Done():
+			// one-off resync pays ~25-50ms.
+			var ok bool
+			if delay, ok = backoffSleep(ctx, delay, opts.MaxReconnectDelay); !ok {
 				return ctx.Err()
-			case <-time.After(delay):
-			}
-			if delay *= 2; delay > opts.MaxReconnectDelay {
-				delay = opts.MaxReconnectDelay
 			}
 			snap, serr := c.Snapshot(ctx)
 			if serr != nil {
@@ -267,13 +308,10 @@ func (c *Client) Follow(ctx context.Context, cursor string, opts FollowOptions, 
 			}
 			// Transport failure or 503: back off and resume from the last
 			// delivered cursor.
-			select {
-			case <-ctx.Done():
+			stats.reconnects.Add(1)
+			var ok bool
+			if delay, ok = backoffSleep(ctx, delay, opts.MaxReconnectDelay); !ok {
 				return ctx.Err()
-			case <-time.After(delay):
-			}
-			if delay *= 2; delay > opts.MaxReconnectDelay {
-				delay = opts.MaxReconnectDelay
 			}
 			continue
 		}
